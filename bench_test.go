@@ -1,0 +1,199 @@
+package perfpred
+
+// One testing.B benchmark per table and figure in the paper's
+// evaluation, plus the ablation benches DESIGN.md calls out. Each
+// bench regenerates its experiment end to end through the harness
+// (calibration is memoised inside the shared suite, so the first bench
+// to need an artifact pays for it and the cost shows up where it
+// belongs conceptually: the §8.5 delay discussion).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// and read the regenerated rows with:
+//
+//	go run ./cmd/experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// benchSuite is shared across benchmarks; the seed matches
+// cmd/experiments' default so printed tables and benched tables agree.
+var benchSuite = NewSuite(17)
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := benchSuite.Run(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", name)
+		}
+	}
+}
+
+// BenchmarkTable1HistoricalParameters regenerates Table 1: the
+// historical method's relationship-1 parameters for all three servers.
+func BenchmarkTable1HistoricalParameters(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2LQNCalibration regenerates Table 2: the layered
+// queuing processing-time parameters calibrated on AppServF.
+func BenchmarkTable2LQNCalibration(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkThroughputGradient regenerates the §4.1 gradient
+// experiment (m ≈ 0.14 across servers).
+func BenchmarkThroughputGradient(b *testing.B) { runExperiment(b, "gradient") }
+
+// BenchmarkFigure2MeanResponseTime regenerates figure 2: mean RT
+// predictions for all methods on all servers versus measurements.
+func BenchmarkFigure2MeanResponseTime(b *testing.B) { runExperiment(b, "figure2") }
+
+// BenchmarkFigure3DataPointSpacing regenerates figure 3: accuracy as
+// the client spacing between historical data points grows.
+func BenchmarkFigure3DataPointSpacing(b *testing.B) { runExperiment(b, "figure3") }
+
+// BenchmarkFigure4HeterogeneousWorkload regenerates figure 4:
+// buy-mix response-time predictions for the new server.
+func BenchmarkFigure4HeterogeneousWorkload(b *testing.B) { runExperiment(b, "figure4") }
+
+// BenchmarkPercentilePredictions regenerates the §7.1 90th-percentile
+// experiment.
+func BenchmarkPercentilePredictions(b *testing.B) { runExperiment(b, "percentiles") }
+
+// BenchmarkCacheModelling regenerates the §7.2 session-cache study.
+func BenchmarkCacheModelling(b *testing.B) { runExperiment(b, "cache") }
+
+// BenchmarkMaxClientsSearch regenerates the §8.2 capacity-query cost
+// comparison (layered search vs historical inversion).
+func BenchmarkMaxClientsSearch(b *testing.B) { runExperiment(b, "search") }
+
+// BenchmarkFigure5SLAFailures and BenchmarkFigure6ServerUsage share
+// one experiment: the figure-5/6 load sweeps at three slack levels.
+func BenchmarkFigure5SLAFailures(b *testing.B) { runExperiment(b, "figure5-6") }
+
+// BenchmarkFigure6ServerUsage regenerates the same sweep; the usage
+// columns are figure 6.
+func BenchmarkFigure6ServerUsage(b *testing.B) { runExperiment(b, "figure5-6") }
+
+// BenchmarkFigure7SlackSweep regenerates figure 7: averaged cost
+// metrics as slack goes 1.1 → 0.
+func BenchmarkFigure7SlackSweep(b *testing.B) { runExperiment(b, "figure7") }
+
+// BenchmarkFigure8TradeOff regenerates figure 8: the fine
+// failure/saving trade-off for slack 1.1 → 0.9.
+func BenchmarkFigure8TradeOff(b *testing.B) { runExperiment(b, "figure8") }
+
+// BenchmarkUniformInaccuracy regenerates the §9.1 uniform-error
+// compensation experiment (slack = y ⇒ 0% failures).
+func BenchmarkUniformInaccuracy(b *testing.B) { runExperiment(b, "uniform") }
+
+// BenchmarkPredictionDelay regenerates the §8.5 per-method
+// prediction-delay comparison.
+func BenchmarkPredictionDelay(b *testing.B) { runExperiment(b, "delay") }
+
+// BenchmarkDataQuantity regenerates the §4.2 data-quantity study
+// (accuracy vs nldp/nudp and ns).
+func BenchmarkDataQuantity(b *testing.B) { runExperiment(b, "data-quantity") }
+
+// BenchmarkPercentileDirect regenerates the §8.2 direct-vs-extrapolated
+// percentile comparison.
+func BenchmarkPercentileDirect(b *testing.B) { runExperiment(b, "percentile-direct") }
+
+// BenchmarkStabilisation regenerates the §8.2 cold-start settling
+// study.
+func BenchmarkStabilisation(b *testing.B) { runExperiment(b, "stabilisation") }
+
+// BenchmarkClusterRouting regenerates the §2 application-tier routing
+// study.
+func BenchmarkClusterRouting(b *testing.B) { runExperiment(b, "cluster") }
+
+// BenchmarkOpenWorkload regenerates the §8.1 constant-rate workload
+// validation.
+func BenchmarkOpenWorkload(b *testing.B) { runExperiment(b, "open") }
+
+// BenchmarkBottleneck regenerates the §8.1 implicit critical-section
+// queue study (historical absorbs it; LQN needs it profiled).
+func BenchmarkBottleneck(b *testing.B) { runExperiment(b, "bottleneck") }
+
+// BenchmarkEvaluationMatrix regenerates the §8 capability matrix.
+func BenchmarkEvaluationMatrix(b *testing.B) { runExperiment(b, "matrix") }
+
+// BenchmarkProvider regenerates the §2 multi-application
+// server-transfer study.
+func BenchmarkProvider(b *testing.B) { runExperiment(b, "provider") }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationTransition: transition phase-in vs hard switch.
+func BenchmarkAblationTransition(b *testing.B) { runExperiment(b, "ablation-transition") }
+
+// BenchmarkAblationMVA: Schweitzer AMVA vs exact MVA.
+func BenchmarkAblationMVA(b *testing.B) { runExperiment(b, "ablation-mva") }
+
+// BenchmarkAblationConvergence: 20ms vs 1e-6s convergence criteria.
+func BenchmarkAblationConvergence(b *testing.B) { runExperiment(b, "ablation-convergence") }
+
+// BenchmarkAblationLastServer: Algorithm 1's last-server exception.
+func BenchmarkAblationLastServer(b *testing.B) { runExperiment(b, "ablation-lastserver") }
+
+// BenchmarkAblationTaskLayering: flattened vs task-layered solving on
+// a thread-pool-bound scenario.
+func BenchmarkAblationTaskLayering(b *testing.B) { runExperiment(b, "ablation-layers") }
+
+// Micro-benchmarks for the §8.5 claims in isolation: the historical
+// prediction is nanoseconds-scale, a layered solve is orders of
+// magnitude slower, and a full simulated measurement dwarfs both —
+// which is exactly why prediction methods exist.
+
+func BenchmarkHistoricalPredictionMicro(b *testing.B) {
+	m, err := benchSuite.HistModel(AppServF())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Predict(float64(100 + i%2000))
+	}
+}
+
+func BenchmarkLQNSolveMicro(b *testing.B) {
+	demands, err := benchSuite.LQNDemands()
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := NewTradeModel(AppServF(), CaseStudyDB(), demands, TypicalWorkload(1200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveLQN(model, LQNOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatedMeasurementMicro(b *testing.B) {
+	opt := MeasureOptions{Seed: 2, WarmUp: 10, Duration: 30}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Measure(AppServF(), TypicalWorkload(400), opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllExperiments regenerates the entire evaluation in one
+// go — the "reproduce the paper" button.
+func BenchmarkRunAllExperiments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := RunAllExperiments(benchSuite, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

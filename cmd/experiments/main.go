@@ -1,0 +1,63 @@
+// Command experiments regenerates the paper's tables and figures from
+// scratch: it calibrates all three prediction methods against the
+// simulated testbed and prints each experiment's rows alongside the
+// values the paper reports.
+//
+// Usage:
+//
+//	experiments [-seed 17] [-list] [name ...]
+//
+// With no names, every experiment runs in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfpred/internal/bench"
+)
+
+func main() {
+	seed := flag.Int64("seed", 17, "measurement seed (equal seeds reproduce identical tables)")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	format := flag.String("format", "text", "output format: text|json")
+	flag.Parse()
+
+	if *list {
+		for _, name := range bench.Experiments() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *format != "text" && *format != "json" {
+		fatal(fmt.Errorf("unknown format %q (want text or json)", *format))
+	}
+	emit := func(t *bench.Table) {
+		if *format == "json" {
+			if err := t.FprintJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		t.Fprint(os.Stdout)
+	}
+
+	suite := bench.NewSuite(*seed)
+	names := flag.Args()
+	if len(names) == 0 {
+		names = bench.Experiments()
+	}
+	for _, name := range names {
+		t, err := suite.Run(name)
+		if err != nil {
+			fatal(fmt.Errorf("experiment %s: %w", name, err))
+		}
+		emit(t)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command rmsim runs the §9 resource-management tuning study: it
+// calibrates the truth (historical) and planning (hybrid) models, then
+// sweeps load and slack printing the % SLA failure and % server usage
+// cost metrics of figures 5-8.
+//
+// Usage:
+//
+//	rmsim sweep  [-slack 1.1] [-seed 1]     # one figure-5/6 line
+//	rmsim slacks [-from 1.1 -to 0 -step 0.1]  # figure 7
+//	rmsim minzero                             # minimum 0%-failure slack
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfpred/internal/bench"
+	"perfpred/internal/rm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "measurement seed")
+	slack := fs.Float64("slack", 1.1, "slack multiplier for 'sweep'")
+	from := fs.Float64("from", 1.1, "starting slack for 'slacks'")
+	to := fs.Float64("to", 0, "ending slack for 'slacks'")
+	step := fs.Float64("step", 0.1, "slack step for 'slacks'")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fatal(err)
+	}
+
+	// The bench suite owns the §9.1 calibration (truth = historical on
+	// measurements, planner = hybrid).
+	suite := bench.NewSuite(*seed)
+	pred, truth, servers, err := benchSetup(suite)
+	if err != nil {
+		fatal(err)
+	}
+	loads := make([]int, 0, 16)
+	for n := 1000; n <= 16000; n += 1000 {
+		loads = append(loads, n)
+	}
+
+	switch cmd {
+	case "sweep":
+		points, err := rm.SweepLoad(rm.CaseStudyShares(), servers, pred, truth, *slack, loads, rm.Options{}, rm.EvalOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("slack=%.2f\nclients  fail%%   usage%%\n", *slack)
+		for _, p := range points {
+			fmt.Printf("%7d  %5.1f  %6.1f\n", p.TotalClients, p.SLAFailurePct, p.ServerUsagePct)
+		}
+	case "slacks":
+		var slacks []float64
+		for v := *from; v >= *to-1e-9; v -= *step {
+			slacks = append(slacks, v)
+		}
+		points, err := rm.SweepSlack(rm.CaseStudyShares(), servers, pred, truth, slacks, loads, rm.Options{}, rm.EvalOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("slack  avg-fail%  avg-usage%  avg-saving%")
+		for _, p := range points {
+			fmt.Printf("%5.2f  %8.2f  %9.1f  %10.2f\n", p.Slack, p.AvgFailPct, p.AvgUsagePct, p.AvgUsageSavingPct)
+		}
+	case "minzero":
+		slacks := []float64{1.0, 1.025, 1.05, 1.075, 1.1, 1.15, 1.2, 1.3}
+		s, err := rm.MinZeroFailureSlack(rm.CaseStudyShares(), servers, pred, truth, slacks, loads, rm.Options{}, rm.EvalOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("minimum slack with 0%% SLA failures before 100%% usage: %.3f (paper: 1.1)\n", s)
+	default:
+		usage()
+	}
+}
+
+// benchSetup asks the suite for the §9.1 predictor pair via the public
+// figure path (the suite memoises the calibration).
+func benchSetup(s *bench.Suite) (pred, truth rm.Predictor, servers []rm.Server, err error) {
+	return s.RMSetup()
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rmsim sweep|slacks|minzero [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmsim:", err)
+	os.Exit(1)
+}

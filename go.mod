@@ -1,0 +1,3 @@
+module perfpred
+
+go 1.22

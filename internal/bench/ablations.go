@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"time"
+
+	"perfpred/internal/lqn"
+	"perfpred/internal/rm"
+	"perfpred/internal/stats"
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
+)
+
+// AblationTransition quantifies the §4.1 transition relationship: the
+// historical model's accuracy through the saturation knee with the
+// exponential phase-in versus a hard switch between the lower and
+// upper equations at N*.
+func (s *Suite) AblationTransition() (*Table, error) {
+	t := &Table{
+		ID:     "Ablation: transition",
+		Title:  "Historical accuracy through the knee: transition phase-in vs hard switch",
+		Header: []string{"Server", "Clients", "Measured (ms)", "With transition (ms)", "Hard switch (ms)"},
+	}
+	var wPred, hPred, acts []float64
+	for _, arch := range workload.CaseStudyServers() {
+		hm, err := s.HistModelFor(arch)
+		if err != nil {
+			return nil, err
+		}
+		nStar := hm.SaturationClients()
+		// Populations inside the transition band, where the variants
+		// differ.
+		for _, frac := range []float64{0.7, 0.85, 1.0, 1.05} {
+			n := int(frac * nStar)
+			meas, err := measureCached(s, arch, n, 0)
+			if err != nil {
+				return nil, err
+			}
+			with := hm.Predict(float64(n))
+			var hard float64
+			if float64(n) < nStar {
+				hard = hm.Lower(float64(n))
+			} else {
+				hard = hm.Upper(float64(n))
+			}
+			wPred = append(wPred, with)
+			hPred = append(hPred, hard)
+			acts = append(acts, meas.MeanRT)
+			t.AddRow(arch.Name, itoa(n), ms(meas.MeanRT), ms(with), ms(hard))
+		}
+	}
+	t.AddNote("knee accuracy: transition %.1f%% vs hard switch %.1f%%",
+		stats.Accuracy(wPred, acts), stats.Accuracy(hPred, acts))
+	return t, nil
+}
+
+// AblationMVA compares the Schweitzer approximation against the exact
+// single-class MVA recursion on the typical-workload trade model.
+func (s *Suite) AblationMVA() (*Table, error) {
+	t := &Table{
+		ID:     "Ablation: MVA",
+		Title:  "Schweitzer AMVA vs exact MVA (single class, AppServF)",
+		Header: []string{"Clients", "Approx RT (ms)", "Exact RT (ms)", "Delta %", "Approx time", "Exact time"},
+	}
+	demands, err := s.LQNDemands()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range []int{100, 400, 900, 1300, 1800, 2600} {
+		model, err := lqn.NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), demands, workload.TypicalWorkload(n))
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		approx, err := lqn.Solve(model, s.LQNOpt)
+		if err != nil {
+			return nil, err
+		}
+		approxTime := time.Since(start)
+		start = time.Now()
+		exact, err := lqn.Solve(model, lqn.Options{ExactMVA: true})
+		if err != nil {
+			return nil, err
+		}
+		exactTime := time.Since(start)
+		a := approx.MeanResponseTime()
+		e := exact.MeanResponseTime()
+		delta := 0.0
+		if e > 0 {
+			delta = 100 * abs(a-e) / e
+		}
+		t.AddRow(itoa(n), ms(a), ms(e), f2(delta), approxTime.String(), exactTime.String())
+	}
+	t.AddNote("exact MVA costs O(N) recursion steps; Schweitzer converges in a few sweeps regardless of N")
+	return t, nil
+}
+
+// AblationConvergence shows the effect of the solver convergence
+// criterion (the paper's 20 ms vs a tight 1 µs): iterations, solve
+// time and the response-time wobble that produces figure 3's
+// small-spacing noise.
+func (s *Suite) AblationConvergence() (*Table, error) {
+	t := &Table{
+		ID:     "Ablation: convergence",
+		Title:  "LQN convergence criterion: paper's 20ms vs tight 1e-6s",
+		Header: []string{"Clients", "RT@20ms (ms)", "RT@1e-6 (ms)", "Delta (ms)", "Iters@20ms", "Iters@1e-6"},
+	}
+	demands, err := s.LQNDemands()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range []int{200, 800, 1300, 1500, 2200} {
+		model, err := lqn.NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), demands, workload.TypicalWorkload(n))
+		if err != nil {
+			return nil, err
+		}
+		coarse, err := lqn.Solve(model, lqn.Options{Convergence: 0.020})
+		if err != nil {
+			return nil, err
+		}
+		fine, err := lqn.Solve(model, lqn.Options{Convergence: 1e-6})
+		if err != nil {
+			return nil, err
+		}
+		c := coarse.MeanResponseTime()
+		f := fine.MeanResponseTime()
+		t.AddRow(itoa(n), ms(c), ms(f), ms(abs(c-f)), itoa(coarse.Iterations), itoa(fine.Iterations))
+	}
+	t.AddNote("a coarse criterion can make close populations' predictions cross — the paper's figure-3 difficulty below x≈30 clients")
+	return t, nil
+}
+
+// AblationTaskLayering compares the flattened (processor-only) solver
+// against the task-layered one on a scenario where the application
+// server's thread pool is the bottleneck: a 5-thread pool gating
+// requests that spend ~200 ms per request blocked on database latency
+// while every CPU idles. Only the layered solution sees the software
+// queue.
+func (s *Suite) AblationTaskLayering() (*Table, error) {
+	t := &Table{
+		ID:     "Ablation: task layering",
+		Title:  "Thread-pool bottleneck: flattened vs task-layered solving (5-thread pool, latency-bound DB)",
+		Header: []string{"Clients", "Measured (ms)", "Flattened LQN (ms)", "Layered LQN (ms)", "Measured X", "Layered X"},
+	}
+	arch := workload.AppServF()
+	arch.MPL = 5
+	demands := map[workload.RequestType]workload.Demand{
+		workload.Browse: {
+			AppServerTime:     0.002,
+			DBTimePerCall:     0.001,
+			DBCallsPerRequest: 4,
+			DBLatencyPerCall:  0.050,
+		},
+	}
+	class := workload.ServiceClass{Name: "browse", Mix: workload.Mix{workload.Browse: 1}, ThinkTimeMean: 1.0}
+	for _, n := range []int{10, 40, 80, 120} {
+		load := workload.Workload{{Class: class, Clients: n}}
+		meas, err := trade.Run(trade.Config{
+			Server: arch, DB: workload.CaseStudyDB(), Demands: demands, Load: load,
+			Seed: s.Opt.Seed, WarmUp: s.Opt.WarmUp, Duration: s.Opt.Duration,
+		})
+		if err != nil {
+			return nil, err
+		}
+		model, err := lqn.NewTradeModel(arch, workload.CaseStudyDB(), demands, load)
+		if err != nil {
+			return nil, err
+		}
+		flat, err := lqn.Solve(model, s.LQNOpt)
+		if err != nil {
+			return nil, err
+		}
+		layered, err := lqn.Solve(model, lqn.Options{Convergence: s.LQNOpt.Convergence, TaskLayering: true})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(itoa(n), ms(meas.MeanRT),
+			ms(flat.Classes["browse"].ResponseTime), ms(layered.Classes["browse"].ResponseTime),
+			f1(meas.Throughput), f1(layered.Classes["browse"].Throughput))
+	}
+	t.AddNote("the flattened solver models only processors and misses queues at software servers; task layering (the 'layered' in LQN) recovers them")
+	return t, nil
+}
+
+// AblationLastServer measures Algorithm 1's smallest-feasible-server
+// exception: planned server usage with and without the rule.
+func (s *Suite) AblationLastServer() (*Table, error) {
+	t := &Table{
+		ID:     "Ablation: last-server rule",
+		Title:  "Algorithm 1 with vs without the smallest-feasible-last-server exception",
+		Header: []string{"Clients", "Usage % (with rule)", "Usage % (without)", "Fail % (with)", "Fail % (without)"},
+	}
+	pred, truth, servers, err := s.RMSetup()
+	if err != nil {
+		return nil, err
+	}
+	loads := []int{2000, 5000, 8000, 11000}
+	withPts, err := rm.SweepLoad(rm.CaseStudyShares(), servers, pred, truth, 1.1, loads, rm.Options{}, rm.EvalOptions{})
+	if err != nil {
+		return nil, err
+	}
+	withoutPts, err := rm.SweepLoad(rm.CaseStudyShares(), servers, pred, truth, 1.1, loads, rm.Options{DisableLastServerRule: true}, rm.EvalOptions{})
+	if err != nil {
+		return nil, err
+	}
+	for i, load := range loads {
+		t.AddRow(itoa(load),
+			f1(withPts[i].ServerUsagePct), f1(withoutPts[i].ServerUsagePct),
+			f1(withPts[i].SLAFailurePct), f1(withoutPts[i].SLAFailurePct))
+	}
+	t.AddNote("the rule avoids burning a large server on a small remainder, lowering %% server usage at light load")
+	return t, nil
+}

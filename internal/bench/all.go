@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Experiment names in paper order, resolvable by Run.
+var experimentOrder = []string{
+	"table1", "table2", "gradient", "data-quantity",
+	"figure2", "figure3", "figure4",
+	"percentiles", "percentile-direct", "cache", "search",
+	"stabilisation", "cluster", "open", "bottleneck", "provider",
+	"figure5-6", "figure7", "figure8", "uniform", "delay", "matrix",
+	"ablation-transition", "ablation-mva", "ablation-convergence", "ablation-lastserver", "ablation-layers",
+}
+
+// Run executes one named experiment.
+func (s *Suite) Run(name string) (*Table, error) {
+	switch name {
+	case "table1":
+		return s.Table1()
+	case "table2":
+		return s.Table2()
+	case "gradient":
+		return s.ThroughputGradient()
+	case "data-quantity":
+		return s.DataQuantity()
+	case "percentile-direct":
+		return s.PercentileDirect()
+	case "stabilisation":
+		return s.Stabilisation()
+	case "cluster":
+		return s.ClusterStudy()
+	case "open":
+		return s.OpenWorkload()
+	case "matrix":
+		return s.EvaluationMatrix()
+	case "bottleneck":
+		return s.Bottleneck()
+	case "provider":
+		return s.Provider()
+	case "figure2":
+		return s.Figure2()
+	case "figure3":
+		return s.Figure3()
+	case "figure4":
+		return s.Figure4()
+	case "percentiles":
+		return s.Percentiles()
+	case "cache":
+		return s.CacheStudy()
+	case "search":
+		return s.LQNMaxClientsCost()
+	case "figure5-6":
+		return s.Figure5and6()
+	case "figure7":
+		return s.Figure7()
+	case "figure8":
+		return s.Figure8()
+	case "uniform":
+		return s.UniformInaccuracy()
+	case "delay":
+		return s.PredictionDelay()
+	case "ablation-transition":
+		return s.AblationTransition()
+	case "ablation-mva":
+		return s.AblationMVA()
+	case "ablation-convergence":
+		return s.AblationConvergence()
+	case "ablation-lastserver":
+		return s.AblationLastServer()
+	case "ablation-layers":
+		return s.AblationTaskLayering()
+	default:
+		return nil, fmt.Errorf("bench: unknown experiment %q", name)
+	}
+}
+
+// Experiments returns the runnable experiment names in paper order.
+func Experiments() []string {
+	out := make([]string, len(experimentOrder))
+	copy(out, experimentOrder)
+	return out
+}
+
+// RunAll executes every experiment in paper order, printing each table
+// to w as it completes.
+func (s *Suite) RunAll(w io.Writer) error {
+	for _, name := range experimentOrder {
+		t, err := s.Run(name)
+		if err != nil {
+			return fmt.Errorf("bench: experiment %s: %w", name, err)
+		}
+		t.Fprint(w)
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// sharedSuite memoises calibration across tests in this package.
+var sharedSuite = NewSuite(17)
+
+func TestTable1Shape(t *testing.T) {
+	tab, err := sharedSuite.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("Table 1 rows = %d, want 3 servers", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"AppServS", "AppServF", "AppServVF", "cL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2MatchesGroundTruthRatios(t *testing.T) {
+	tab, err := sharedSuite.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("Table 2 rows = %d, want 2 request types", len(tab.Rows))
+	}
+	demands, err := sharedSuite.LQNDemands()
+	if err != nil {
+		t.Fatal(err)
+	}
+	browse := demands["browse"]
+	buy := demands["buy"]
+	ratio := buy.AppServerTime / browse.AppServerTime
+	// Table 2's buy/browse demand ratio 8.761/4.505 ≈ 1.94 must be
+	// recovered by calibration within ~10%.
+	if ratio < 1.7 || ratio > 2.2 {
+		t.Fatalf("buy/browse calibrated ratio = %v, want ≈1.94", ratio)
+	}
+}
+
+func TestGradientExperiment(t *testing.T) {
+	tab, err := sharedSuite.ThroughputGradient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 { // 3 servers + shared fit
+		t.Fatalf("gradient rows = %d", len(tab.Rows))
+	}
+	m, err := sharedSuite.Gradient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 0.12 || m > 0.15 {
+		t.Fatalf("shared gradient = %v, want ≈0.14", m)
+	}
+}
+
+func TestFigure2ShapeHolds(t *testing.T) {
+	accs, err := sharedSuite.Figure2Accuracies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for method, pair := range accs {
+		for i, group := range []string{"established", "new"} {
+			if pair[i] < 45 {
+				t.Fatalf("%s accuracy on %s servers = %.1f%%, below floor", method, group, pair[i])
+			}
+		}
+	}
+	// The paper's qualitative finding that carries over directly: the
+	// hybrid method's accuracy tracks the layered model it is built
+	// from, not the measured data (§6). On this testbed the layered
+	// model is structurally exact (the testbed IS a queueing network),
+	// so LQN leads where the paper's physical testbed had it trail —
+	// see EXPERIMENTS.md. The hybrid stays within the LQN's accuracy.
+	if accs["hybrid"][0] > accs["lqn"][0]+10 {
+		t.Fatalf("hybrid (%.1f%%) should not beat its generating LQN model (%.1f%%) by a wide margin",
+			accs["hybrid"][0], accs["lqn"][0])
+	}
+}
+
+func TestFigure3LowerImprovesWithSpacing(t *testing.T) {
+	tab, err := sharedSuite.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 5 {
+		t.Fatalf("figure 3 rows = %d", len(tab.Rows))
+	}
+	// The lower-equation accuracy at the widest spacing should beat
+	// the narrowest — the paper's roughly-linear improvement.
+	first := tab.Rows[0][1]
+	last := tab.Rows[len(tab.Rows)-1][1]
+	var a, b float64
+	if _, err := fscan(first, &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fscan(last, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b < a-2 {
+		t.Fatalf("lower-equation accuracy fell with spacing: %v -> %v", a, b)
+	}
+}
+
+func TestFigure4Heterogeneous(t *testing.T) {
+	tab, err := sharedSuite.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 { // 3 buy mixes × 4 populations
+		t.Fatalf("figure 4 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestPercentilesExperiment(t *testing.T) {
+	tab, err := sharedSuite.Percentiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 24 { // 3 servers × 8 populations
+		t.Fatalf("percentile rows = %d", len(tab.Rows))
+	}
+	b, err := sharedSuite.LaplaceScale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= 0 {
+		t.Fatalf("laplace scale = %v", b)
+	}
+}
+
+func TestRMStudyFigures(t *testing.T) {
+	tab, err := sharedSuite.Figure5and6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 22 {
+		t.Fatalf("figure 5-6 rows = %d", len(tab.Rows))
+	}
+	f7, err := sharedSuite.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failures at slack 0 reach 100% (no clients allocated).
+	lastRow := f7.Rows[len(f7.Rows)-1]
+	var fail float64
+	if _, err := fscan(lastRow[1], &fail); err != nil {
+		t.Fatal(err)
+	}
+	if fail < 99.9 {
+		t.Fatalf("slack-0 average failures = %v, want 100", fail)
+	}
+	f8, err := sharedSuite.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f8.Rows) < 8 {
+		t.Fatalf("figure 8 rows = %d", len(f8.Rows))
+	}
+}
+
+func TestUniformAndDelayAndSearch(t *testing.T) {
+	tab, err := sharedSuite.UniformInaccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		var maxFail float64
+		if _, err := fscan(row[1], &maxFail); err != nil {
+			t.Fatal(err)
+		}
+		if maxFail > 0 {
+			t.Fatalf("slack=y left %v%% failures for y=%s", maxFail, row[0])
+		}
+	}
+	delay, err := sharedSuite.PredictionDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delay.Rows) != 3 {
+		t.Fatalf("delay rows = %d", len(delay.Rows))
+	}
+	search, err := sharedSuite.LQNMaxClientsCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(search.Rows) != 9 {
+		t.Fatalf("search rows = %d", len(search.Rows))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	for _, name := range []string{"ablation-transition", "ablation-mva", "ablation-convergence", "ablation-lastserver"} {
+		tab, err := sharedSuite.Run(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", name)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := sharedSuite.Run("nope"); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestExperimentsListMatchesRun(t *testing.T) {
+	for _, name := range Experiments() {
+		// Resolve only; heavy experiments already ran above and are
+		// memoised, so this is cheap.
+		if _, err := sharedSuite.Run(name); err != nil {
+			t.Fatalf("experiment %s failed: %v", name, err)
+		}
+	}
+}
+
+// fscan parses the first float in a cell.
+func fscan(cell string, v *float64) (int, error) {
+	cell = strings.TrimSuffix(cell, "ms")
+	cell = strings.TrimSuffix(cell, "%")
+	return sscan(cell, v)
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(strings.TrimSpace(s), v)
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
+)
+
+// measurement memoisation: the simulated testbed is deterministic for
+// a fixed seed, so repeated experiments reuse identical runs.
+var curveCache = map[string]*trade.Result{}
+
+func measureCached(s *Suite, arch workload.ServerArch, clients int, buyFrac float64) (*trade.Result, error) {
+	key := fmt.Sprintf("%s/%d/%.4f/%d/%.0f/%.0f", arch.Name, clients, buyFrac, s.Opt.Seed, s.Opt.WarmUp, s.Opt.Duration)
+	if res, ok := curveCache[key]; ok {
+		return res, nil
+	}
+	var load workload.Workload
+	if buyFrac <= 0 {
+		load = workload.TypicalWorkload(clients)
+	} else {
+		load = workload.MixedWorkload(clients, buyFrac)
+	}
+	res, err := trade.Measure(arch, load, s.Opt)
+	if err != nil {
+		return nil, err
+	}
+	curveCache[key] = res
+	return res, nil
+}
+
+func measureCurveCached(s *Suite, arch workload.ServerArch, counts []int) ([]trade.CurvePoint, error) {
+	points := make([]trade.CurvePoint, 0, len(counts))
+	for _, n := range counts {
+		res, err := measureCached(s, arch, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, trade.CurvePoint{Clients: n, Res: res})
+	}
+	return points, nil
+}

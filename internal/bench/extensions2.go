@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"perfpred/internal/hist"
+	"perfpred/internal/lqn"
+	"perfpred/internal/stats"
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
+)
+
+// Stabilisation exercises the §8.2 historical-only capability of
+// modelling the time a server takes to settle toward steady state: a
+// cold-start transient is measured on the simulated testbed and the
+// exponential settling model fitted to it.
+func (s *Suite) Stabilisation() (*Table, error) {
+	t := &Table{
+		ID:     "Section 8.2 (stabilisation)",
+		Title:  "Cold-start settling: measured trajectory vs fitted stabilisation model",
+		Header: []string{"Time (s)", "Measured RT (ms)", "Model RT (ms)"},
+	}
+	cfg := trade.Config{
+		Server:   workload.AppServF(),
+		DB:       workload.CaseStudyDB(),
+		Demands:  workload.CaseStudyDemands(),
+		Load:     workload.TypicalWorkload(1900),
+		Seed:     s.Opt.Seed,
+		Duration: 400,
+	}
+	curve, err := trade.TransientCurve(cfg, 20)
+	if err != nil {
+		return nil, err
+	}
+	var pts []hist.StabilisationPoint
+	for _, p := range curve {
+		if p.Completed > 0 {
+			pts = append(pts, hist.StabilisationPoint{Time: p.Time, MeanRT: p.MeanRT})
+		}
+	}
+	model, err := hist.FitStabilisation(pts)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
+		if i%2 == 0 { // thin the table
+			t.AddRow(f1(p.Time), ms(p.MeanRT), ms(model.At(p.Time)))
+		}
+	}
+	t.AddNote("fitted: steady %.0f ms, tau %.0f s; within 5%% of steady after %.0f s",
+		model.Steady*1000, model.Tau, model.TimeToSteady(0.05))
+	t.AddNote("the layered queuing method makes only steady-state predictions (§8.2); the historical method records stabilisation as a variable")
+	return t, nil
+}
+
+// ClusterStudy exercises the §2 system model's application-server
+// tier: a heterogeneous three-server tier under the workload-manager
+// routing policies, validating that the database's per-server FIFO
+// queues and the tier's aggregate capacity behave.
+func (s *Suite) ClusterStudy() (*Table, error) {
+	t := &Table{
+		ID:     "Section 2 (tier)",
+		Title:  "Heterogeneous application tier under workload-manager routing policies",
+		Header: []string{"Routing", "Mean RT (ms)", "Tier X (req/s)", "U(S)", "U(F)", "U(VF)"},
+	}
+	servers := []workload.ServerArch{workload.AppServS(), workload.AppServF(), workload.AppServVF()}
+	for _, routing := range []trade.RoutingPolicy{trade.RouteSticky, trade.RouteRoundRobin, trade.RouteLeastBusy} {
+		cfg := trade.Config{
+			Servers:  servers,
+			Routing:  routing,
+			DB:       workload.CaseStudyDB(),
+			Demands:  workload.CaseStudyDemands(),
+			Load:     workload.TypicalWorkload(3600),
+			Seed:     s.Opt.Seed,
+			WarmUp:   s.Opt.WarmUp,
+			Duration: s.Opt.Duration,
+		}
+		res, err := trade.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(string(routing), ms(res.MeanRT), f1(res.Throughput),
+			f2(res.PerServer[0].Utilization), f2(res.PerServer[1].Utilization), f2(res.PerServer[2].Utilization))
+	}
+	t.AddNote("tier capacity ≈ 86+186+320 = 592 req/s; speed-blind round robin overloads the slow member")
+	return t, nil
+}
+
+// OpenWorkload validates the mixed-network extension (§8.1 "clients
+// sending requests at a constant rate"): open-stream response times
+// from the simulator versus the layered solver across arrival rates.
+func (s *Suite) OpenWorkload() (*Table, error) {
+	t := &Table{
+		ID:     "Section 8.1 (open)",
+		Title:  "Constant-rate (open) workload: measured vs layered queuing",
+		Header: []string{"Rate (req/s)", "Measured RT (ms)", "LQN RT (ms)"},
+	}
+	class := workload.ServiceClass{Name: "stream", Mix: workload.Mix{workload.Browse: 1}}
+	demands, err := s.LQNDemands()
+	if err != nil {
+		return nil, err
+	}
+	var preds, acts []float64
+	for _, rate := range []float64{40, 80, 120, 150} {
+		cfg := trade.Config{
+			Server:   workload.AppServF(),
+			DB:       workload.CaseStudyDB(),
+			Demands:  workload.CaseStudyDemands(),
+			Load:     workload.OpenWorkload(class, rate),
+			Seed:     s.Opt.Seed,
+			WarmUp:   s.Opt.WarmUp,
+			Duration: s.Opt.Duration,
+		}
+		res, err := trade.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := lqn.PredictTrade(workload.AppServF(), demands, workload.OpenWorkload(class, rate), s.LQNOpt)
+		if err != nil {
+			return nil, err
+		}
+		p := pred.Classes["stream"].ResponseTime
+		preds = append(preds, p)
+		acts = append(acts, res.MeanRT)
+		t.AddRow(f1(rate), ms(res.MeanRT), ms(p))
+	}
+	t.AddNote("open-workload LQN accuracy: %.1f%%", stats.Accuracy(preds, acts))
+	return t, nil
+}
+
+// PercentileDirect compares the historical method's two routes to a
+// percentile prediction on the new server: direct fitting of p90 data
+// (§8.2) versus extrapolation from the mean through the §7.1
+// distributions.
+func (s *Suite) PercentileDirect() (*Table, error) {
+	t := &Table{
+		ID:     "Section 8.2 (direct percentile)",
+		Title:  "New-server p90: direct historical fit vs extrapolation from mean",
+		Header: []string{"Clients", "Measured p90 (ms)", "Direct fit (ms)", "From mean (ms)"},
+	}
+	gradient, err := s.Gradient()
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.LaplaceScale()
+	if err != nil {
+		return nil, err
+	}
+	// Direct p90 models for the established servers, then
+	// relationship 2 for the new one.
+	var est []*hist.PercentileModel
+	for _, arch := range []workload.ServerArch{workload.AppServF(), workload.AppServVF()} {
+		xMax, err := s.MaxThroughput(arch)
+		if err != nil {
+			return nil, err
+		}
+		nStar := xMax / gradient
+		var pts []hist.DataPoint
+		for _, frac := range []float64{0.25, 0.55, 1.2, 1.6} {
+			n := int(frac * nStar)
+			res, err := measureCached(s, arch, n, 0)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, hist.DataPoint{Clients: float64(n), MeanRT: res.OverallPercentile(90)})
+		}
+		pm, err := hist.CalibratePercentile(arch, xMax, gradient, 0.9, pts)
+		if err != nil {
+			return nil, err
+		}
+		est = append(est, pm)
+	}
+	rel2p, err := hist.PercentileRelationship2(est)
+	if err != nil {
+		return nil, err
+	}
+	sArch := workload.AppServS()
+	sMax, err := s.MaxThroughput(sArch)
+	if err != nil {
+		return nil, err
+	}
+	direct, err := hist.NewPercentileModel(rel2p, sArch, sMax, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	meanModel, err := s.HistNewServer()
+	if err != nil {
+		return nil, err
+	}
+	var dPreds, ePreds, acts []float64
+	nStar := sMax / gradient
+	for _, frac := range []float64{0.3, 0.5, 1.3, 1.6} {
+		n := int(frac * nStar)
+		res, err := measureCached(s, sArch, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		actual := res.OverallPercentile(90)
+		dp := direct.Predict(float64(n))
+		ep, err := meanModel.PredictPercentile(float64(n), 0.9, b)
+		if err != nil {
+			return nil, err
+		}
+		dPreds = append(dPreds, dp)
+		ePreds = append(ePreds, ep)
+		acts = append(acts, actual)
+		t.AddRow(itoa(n), ms(actual), ms(dp), ms(ep))
+	}
+	t.AddNote("accuracy: direct %.1f%% vs from-mean %.1f%% (paper: direct recording avoids the ≤4.6%% extrapolation loss)",
+		stats.Accuracy(dPreds, acts), stats.Accuracy(ePreds, acts))
+	return t, nil
+}

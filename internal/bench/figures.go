@@ -1,0 +1,361 @@
+package bench
+
+import (
+	"strconv"
+
+	"perfpred/internal/hist"
+	"perfpred/internal/hybrid"
+	"perfpred/internal/lqn"
+	"perfpred/internal/stats"
+	"perfpred/internal/workload"
+)
+
+// figure2Fractions are the client populations (as fractions of each
+// server's saturation load N*) swept by the scalability experiments.
+var figure2Fractions = []float64{0.2, 0.35, 0.5, 0.8, 1.0, 1.2, 1.45, 1.7}
+
+// Figure2 regenerates the paper's figure 2: measured mean response
+// time versus the historical, layered queuing and hybrid predictions
+// across client populations for all three servers, plus the per-method
+// accuracy summary for established and new servers.
+func (s *Suite) Figure2() (*Table, error) {
+	t := &Table{
+		ID:     "Figure 2",
+		Title:  "Mean response time: measured vs predicted (typical workload)",
+		Header: []string{"Server", "Clients", "Measured (ms)", "Historical (ms)", "LQN (ms)", "Hybrid (ms)", "Measured X (req/s)", "LQN X (req/s)"},
+	}
+	hyb, err := s.Hybrid()
+	if err != nil {
+		return nil, err
+	}
+	type accAgg struct{ pred, act []float64 }
+	accs := map[string]map[string]*accAgg{} // method -> group -> series
+	record := func(method, group string, pred, act float64) {
+		if accs[method] == nil {
+			accs[method] = map[string]*accAgg{}
+		}
+		if accs[method][group] == nil {
+			accs[method][group] = &accAgg{}
+		}
+		a := accs[method][group]
+		a.pred = append(a.pred, pred)
+		a.act = append(a.act, act)
+	}
+
+	for _, arch := range workload.CaseStudyServers() {
+		hm, err := s.HistModelFor(arch)
+		if err != nil {
+			return nil, err
+		}
+		group := "new"
+		if arch.Established {
+			group = "established"
+		}
+		nStar := hm.SaturationClients()
+		for _, frac := range figure2Fractions {
+			n := int(frac * nStar)
+			if n < 1 {
+				n = 1
+			}
+			meas, err := measureCached(s, arch, n, 0)
+			if err != nil {
+				return nil, err
+			}
+			histRT := hm.Predict(float64(n))
+			lq, err := s.LQNPredict(arch, workload.TypicalWorkload(n))
+			if err != nil {
+				return nil, err
+			}
+			lqRT := lq.MeanResponseTime()
+			hyRT, err := hyb.Predict(arch.Name, float64(n))
+			if err != nil {
+				return nil, err
+			}
+			record("historical", group, histRT, meas.MeanRT)
+			record("lqn", group, lqRT, meas.MeanRT)
+			record("hybrid", group, hyRT, meas.MeanRT)
+			record("lqn-throughput", group, lq.TotalThroughput(), meas.Throughput)
+			t.AddRow(arch.Name, itoa(n), ms(meas.MeanRT), ms(histRT), ms(lqRT), ms(hyRT),
+				f1(meas.Throughput), f1(lq.TotalThroughput()))
+		}
+	}
+	for _, method := range []string{"historical", "lqn", "hybrid", "lqn-throughput"} {
+		for _, group := range []string{"established", "new"} {
+			a := accs[method][group]
+			t.AddNote("%s accuracy (%s servers): %.1f%%", method, group, stats.Accuracy(a.pred, a.act))
+		}
+	}
+	t.AddNote("paper: historical 89.1%%/83%% (est/new), LQN RT 68.8%%/73.4%%, LQN X 97.8%%/97.1%%, hybrid 67.1%%/74.9%%")
+	return t, nil
+}
+
+// Figure2Accuracies returns the per-method mean-RT accuracy pairs
+// (established, new) without formatting — reused by the §7.1
+// comparison and by tests.
+func (s *Suite) Figure2Accuracies() (map[string][2]float64, error) {
+	tab, err := s.Figure2()
+	if err != nil {
+		return nil, err
+	}
+	_ = tab
+	// Recompute directly (cheap thanks to memoised measurements).
+	hyb, err := s.Hybrid()
+	if err != nil {
+		return nil, err
+	}
+	agg := map[string]map[string][2][]float64{}
+	add := func(method, group string, pred, act float64) {
+		if agg[method] == nil {
+			agg[method] = map[string][2][]float64{}
+		}
+		pair := agg[method][group]
+		pair[0] = append(pair[0], pred)
+		pair[1] = append(pair[1], act)
+		agg[method][group] = pair
+	}
+	for _, arch := range workload.CaseStudyServers() {
+		hm, err := s.HistModelFor(arch)
+		if err != nil {
+			return nil, err
+		}
+		group := "new"
+		if arch.Established {
+			group = "established"
+		}
+		nStar := hm.SaturationClients()
+		for _, frac := range figure2Fractions {
+			n := int(frac * nStar)
+			if n < 1 {
+				n = 1
+			}
+			meas, err := measureCached(s, arch, n, 0)
+			if err != nil {
+				return nil, err
+			}
+			lq, err := s.LQNPredict(arch, workload.TypicalWorkload(n))
+			if err != nil {
+				return nil, err
+			}
+			hyRT, err := hyb.Predict(arch.Name, float64(n))
+			if err != nil {
+				return nil, err
+			}
+			add("historical", group, hm.Predict(float64(n)), meas.MeanRT)
+			add("lqn", group, lq.MeanResponseTime(), meas.MeanRT)
+			add("hybrid", group, hyRT, meas.MeanRT)
+		}
+	}
+	out := map[string][2]float64{}
+	for method, groups := range agg {
+		est := groups["established"]
+		nw := groups["new"]
+		out[method] = [2]float64{
+			stats.Accuracy(est[0], est[1]),
+			stats.Accuracy(nw[0], nw[1]),
+		}
+	}
+	return out, nil
+}
+
+// Figure3 regenerates the paper's figure 3: the predictive accuracy on
+// the new server architecture as the number of clients x between the
+// two historical data points grows. As in the paper, LQNS (here: the
+// lqn package) generates both the calibration points for the
+// established servers and the evaluation data for the new server, and
+// x scales with machine speed so the % of the max-throughput load
+// between the points is constant.
+func (s *Suite) Figure3() (*Table, error) {
+	t := &Table{
+		ID:     "Figure 3",
+		Title:  "Accuracy vs clients between historical data points (LQN-generated data)",
+		Header: []string{"x (AppServF clients)", "Lower-eq accuracy (%)", "Upper-eq accuracy (%)", "Lower @20ms conv (%)", "Upper @20ms conv (%)"},
+	}
+	demands, err := s.LQNDemands()
+	if err != nil {
+		return nil, err
+	}
+	gradient, err := s.Gradient()
+	if err != nil {
+		return nil, err
+	}
+
+	// LQN-derived max throughputs anchor each server's N*.
+	xMaxOf := func(arch workload.ServerArch) (float64, error) {
+		res, err := lqn.PredictTrade(arch, demands, workload.TypicalWorkload(int(2.2*arch.Speed*workload.MaxThroughputF*workload.ThinkTimeMean)), s.LQNOpt)
+		if err != nil {
+			return 0, err
+		}
+		return res.TotalThroughput(), nil
+	}
+	// Data points can be generated under a tight criterion or the
+	// paper's 20 ms one; the latter reproduces the small-x noise the
+	// paper warns about ("difficult to obtain results for values of x
+	// below 30 ... due to the 20ms LQNS convergence criterion").
+	lqnRTOpt := func(arch workload.ServerArch, n int, opt lqn.Options) (float64, error) {
+		if n < 1 {
+			n = 1
+		}
+		res, err := lqn.PredictTrade(arch, demands, workload.TypicalWorkload(n), opt)
+		if err != nil {
+			return 0, err
+		}
+		return res.MeanResponseTime(), nil
+	}
+	lqnRT := func(arch workload.ServerArch, n int) (float64, error) {
+		return lqnRTOpt(arch, n, s.LQNOpt)
+	}
+
+	type serverAnchor struct {
+		arch  workload.ServerArch
+		nStar float64
+		xMax  float64
+	}
+	var anchors []serverAnchor
+	for _, arch := range []workload.ServerArch{workload.AppServF(), workload.AppServVF(), workload.AppServS()} {
+		xm, err := xMaxOf(arch)
+		if err != nil {
+			return nil, err
+		}
+		anchors = append(anchors, serverAnchor{arch: arch, nStar: xm / gradient, xMax: xm})
+	}
+	newAnchor := anchors[2]
+	fNStar := anchors[0].nStar
+
+	// Evaluation data on the new server, from the layered model.
+	evalLower := []float64{0.25, 0.40, 0.55}
+	evalUpper := []float64{1.2, 1.4, 1.6}
+	var lowerEval, upperEval []hist.DataPoint
+	for _, f := range evalLower {
+		rt, err := lqnRT(newAnchor.arch, int(f*newAnchor.nStar))
+		if err != nil {
+			return nil, err
+		}
+		lowerEval = append(lowerEval, hist.DataPoint{Clients: f * newAnchor.nStar, MeanRT: rt})
+	}
+	for _, f := range evalUpper {
+		rt, err := lqnRT(newAnchor.arch, int(f*newAnchor.nStar))
+		if err != nil {
+			return nil, err
+		}
+		upperEval = append(upperEval, hist.DataPoint{Clients: f * newAnchor.nStar, MeanRT: rt})
+	}
+
+	// calibrateAt builds the new-server model from data points spaced
+	// xFrac·N* apart, generated under the given solver options.
+	calibrateAt := func(xFrac float64, opt lqn.Options) (lowerAcc, upperAcc float64, err error) {
+		var estModels []*hist.ServerModel
+		for _, a := range anchors[:2] { // established: F and VF
+			// Lower: one point fixed at the 66% anchor, the other
+			// xFrac·N* below it. Upper: fixed at 110%, other above.
+			loHi := hist.TransitionLow * a.nStar
+			loLo := loHi - xFrac*a.nStar
+			if loLo < 1 {
+				loLo = 1
+			}
+			upLo := hist.TransitionHigh * a.nStar
+			upHi := upLo + xFrac*a.nStar
+			pts := make([]hist.DataPoint, 0, 4)
+			for _, n := range []float64{loLo, loHi, upLo, upHi} {
+				rt, err := lqnRTOpt(a.arch, int(n), opt)
+				if err != nil {
+					return 0, 0, err
+				}
+				pts = append(pts, hist.DataPoint{Clients: n, MeanRT: rt})
+			}
+			m, err := hist.CalibrateServer(a.arch, a.xMax, gradient, pts)
+			if err != nil {
+				return 0, 0, err
+			}
+			estModels = append(estModels, m)
+		}
+		rel2, err := hist.FitRelationship2(estModels)
+		if err != nil {
+			return 0, 0, err
+		}
+		newModel, err := rel2.NewServerModel(newAnchor.arch, newAnchor.xMax)
+		if err != nil {
+			return 0, 0, err
+		}
+		lowerAcc, _, _ = hist.EvaluateEquationAccuracy(newModel, lowerEval)
+		_, upperAcc, _ = hist.EvaluateEquationAccuracy(newModel, upperEval)
+		return lowerAcc, upperAcc, nil
+	}
+
+	coarse := lqn.Options{Convergence: 0.020}
+	for _, xFrac := range []float64{0.01, 0.02, 0.03, 0.06, 0.10, 0.15, 0.20, 0.28, 0.36, 0.45} {
+		lowerAcc, upperAcc, err := calibrateAt(xFrac, s.LQNOpt)
+		if err != nil {
+			return nil, err
+		}
+		lowerC, upperC, err := calibrateAt(xFrac, coarse)
+		if err != nil {
+			// The paper's difficulty made literal: closely spaced
+			// points under the coarse criterion can come back
+			// non-monotone and fail calibration.
+			t.AddRow(f1(xFrac*fNStar), f1(lowerAcc), f1(upperAcc), "unusable", "unusable")
+			continue
+		}
+		t.AddRow(f1(xFrac*fNStar), f1(lowerAcc), f1(upperAcc), f1(lowerC), f1(upperC))
+	}
+	t.AddNote("paper: lower-equation accuracy rises roughly linearly with x; upper-equation accuracy levels off; x below ~30 clients is unusable under a 20ms convergence criterion")
+	return t, nil
+}
+
+// Figure4 regenerates the paper's figure 4: heterogeneous-workload
+// (buy-mix) mean response time predictions for the new server, built
+// from relationship 3 with LQN-generated calibration data (the paper's
+// AppServF points are 189 and 158 req/s at 0% and 25% buy).
+func (s *Suite) Figure4() (*Table, error) {
+	t := &Table{
+		ID:     "Figure 4",
+		Title:  "Heterogeneous workload mean RT predictions for the new server (AppServS)",
+		Header: []string{"Buy %", "Clients", "Measured (ms)", "Historical rel-3 (ms)"},
+	}
+	demands, err := s.LQNDemands()
+	if err != nil {
+		return nil, err
+	}
+	rel3, _, err := hybrid.BuildRelationship3(hybrid.Config{
+		DB:      workload.CaseStudyDB(),
+		Demands: demands,
+		LQN:     s.LQNOpt,
+	}, workload.AppServF(), []float64{0, 25})
+	if err != nil {
+		return nil, err
+	}
+	rel2, err := s.Rel2()
+	if err != nil {
+		return nil, err
+	}
+	base, err := s.HistNewServer()
+	if err != nil {
+		return nil, err
+	}
+	var preds, acts []float64
+	for _, buyPct := range []float64{0, 10, 25} {
+		model := base
+		if buyPct > 0 {
+			model, err = rel3.ModelAtBuyPct(rel2, base, buyPct)
+			if err != nil {
+				return nil, err
+			}
+		}
+		nStar := model.SaturationClients()
+		for _, frac := range []float64{0.3, 0.55, 1.25, 1.6} {
+			n := int(frac * nStar)
+			meas, err := measureCached(s, workload.AppServS(), n, buyPct/100)
+			if err != nil {
+				return nil, err
+			}
+			pred := model.Predict(float64(n))
+			preds = append(preds, pred)
+			acts = append(acts, meas.MeanRT)
+			t.AddRow(f1(buyPct), itoa(n), ms(meas.MeanRT), ms(pred))
+		}
+	}
+	t.AddNote("accuracy across buy mixes: %.1f%%", stats.Accuracy(preds, acts))
+	t.AddNote("paper: good shape agreement; LQNS anchor points 189/158 req/s at 0%%/25%% buy on AppServF")
+	return t, nil
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"perfpred/internal/stats"
+)
+
+// TestFigure2AccuracyStableAcrossSeeds replicates the headline
+// experiment across independent seeds and checks the per-method
+// accuracies are stable — the reproduction's conclusions do not hinge
+// on one lucky random stream.
+func TestFigure2AccuracyStableAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication across seeds is expensive")
+	}
+	methods := []string{"historical", "lqn", "hybrid"}
+	accs := map[string]*stats.Accumulator{}
+	for _, m := range methods {
+		accs[m] = &stats.Accumulator{}
+	}
+	for _, seed := range []int64{101, 202, 303} {
+		s := NewSuite(seed)
+		pairs, err := s.Figure2Accuracies()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range methods {
+			accs[m].Add(pairs[m][1]) // new-server accuracy
+		}
+	}
+	for _, m := range methods {
+		mean, hw := accs[m].MeanCI(0.95)
+		t.Logf("%s new-server accuracy across seeds: %.1f%% ± %.1f", m, mean, hw)
+		if mean < 50 {
+			t.Fatalf("%s replicated accuracy %.1f%% below floor", m, mean)
+		}
+		// Seed-to-seed spread stays bounded: conclusions are not
+		// artefacts of one stream.
+		if accs[m].Max()-accs[m].Min() > 25 {
+			t.Fatalf("%s accuracy spread %.1f..%.1f too wide", m, accs[m].Min(), accs[m].Max())
+		}
+	}
+}
+
+func TestTableJSONOutput(t *testing.T) {
+	tab := &Table{
+		ID:     "X",
+		Title:  "t",
+		Header: []string{"a", "b"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddNote("n=%d", 1)
+	var buf bytes.Buffer
+	if err := tab.FprintJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID     string     `json:"id"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != "X" || len(decoded.Rows) != 1 || decoded.Rows[0][1] != "2" || decoded.Notes[0] != "n=1" {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+}

@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"fmt"
+
+	"perfpred/internal/hist"
+	"perfpred/internal/hybrid"
+	"perfpred/internal/lqn"
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
+)
+
+// Suite owns the shared calibration state the experiments reuse: the
+// measured max throughputs, the gradient m, the historical models of
+// the established servers, relationship 2, the layered-queuing
+// demands, and the hybrid model. Everything is built lazily and
+// memoised, so one Suite can serve all tables and figures without
+// recalibrating.
+type Suite struct {
+	// Opt configures simulated measurements; LQNOpt the layered solver.
+	Opt    trade.MeasureOptions
+	LQNOpt lqn.Options
+
+	maxThroughput map[string]float64 // arch name -> measured Xmax (typical)
+	gradient      float64
+	histModels    map[string]*hist.ServerModel // established archs
+	rel2          *hist.Relationship2
+	histNew       *hist.ServerModel // AppServS via relationship 2
+	lqnDemands    map[workload.RequestType]workload.Demand
+	hybridModel   *hybrid.Model
+	laplaceScale  float64
+}
+
+// NewSuite returns a harness with the given measurement seed.
+func NewSuite(seed int64) *Suite {
+	return &Suite{
+		Opt:           trade.MeasureOptions{Seed: seed, WarmUp: 30, Duration: 120},
+		LQNOpt:        lqn.Options{Convergence: 1e-6},
+		maxThroughput: make(map[string]float64),
+		histModels:    make(map[string]*hist.ServerModel),
+	}
+}
+
+// servers returns the case-study architectures keyed by name.
+func servers() map[string]workload.ServerArch {
+	return map[string]workload.ServerArch{
+		"AppServS":  workload.AppServS(),
+		"AppServF":  workload.AppServF(),
+		"AppServVF": workload.AppServVF(),
+	}
+}
+
+// MaxThroughput benchmarks (and memoises) an architecture's typical
+// max throughput on the simulated testbed.
+func (s *Suite) MaxThroughput(arch workload.ServerArch) (float64, error) {
+	if x, ok := s.maxThroughput[arch.Name]; ok {
+		return x, nil
+	}
+	x, err := trade.MaxThroughput(arch, 0, s.Opt)
+	if err != nil {
+		return 0, err
+	}
+	s.maxThroughput[arch.Name] = x
+	return x, nil
+}
+
+// Gradient calibrates (and memoises) the shared clients→throughput
+// gradient m from below-saturation measurements on AppServF.
+func (s *Suite) Gradient() (float64, error) {
+	if s.gradient != 0 {
+		return s.gradient, nil
+	}
+	xMax, err := s.MaxThroughput(workload.AppServF())
+	if err != nil {
+		return 0, err
+	}
+	nStar := xMax / 0.14 // provisional anchor just to stay below saturation
+	counts := []int{int(0.25 * nStar), int(0.5 * nStar)}
+	points, err := trade.MeasureCurve(workload.AppServF(), counts, 0, s.Opt)
+	if err != nil {
+		return 0, err
+	}
+	tps := make([]hist.ThroughputPoint, len(points))
+	for i, p := range points {
+		tps[i] = hist.ThroughputPoint{Clients: float64(p.Clients), Throughput: p.Res.Throughput}
+	}
+	m, err := hist.CalibrateGradient(tps)
+	if err != nil {
+		return 0, err
+	}
+	s.gradient = m
+	return m, nil
+}
+
+// HistModel calibrates (and memoises) the historical model for an
+// established architecture from two lower and two upper measured data
+// points — the paper's minimal nldp = nudp = 2 calibration.
+func (s *Suite) HistModel(arch workload.ServerArch) (*hist.ServerModel, error) {
+	if m, ok := s.histModels[arch.Name]; ok {
+		return m, nil
+	}
+	xMax, err := s.MaxThroughput(arch)
+	if err != nil {
+		return nil, err
+	}
+	m, err := s.Gradient()
+	if err != nil {
+		return nil, err
+	}
+	nStar := xMax / m
+	counts := []int{int(0.25 * nStar), int(0.55 * nStar), int(1.2 * nStar), int(1.6 * nStar)}
+	points, err := trade.MeasureCurve(arch, counts, 0, s.Opt)
+	if err != nil {
+		return nil, err
+	}
+	dps := make([]hist.DataPoint, len(points))
+	for i, p := range points {
+		dps[i] = hist.DataPoint{Clients: float64(p.Clients), MeanRT: p.Res.MeanRT, Samples: p.Res.PerClass["browse"].Completed}
+	}
+	model, err := hist.CalibrateServer(arch, xMax, m, dps)
+	if err != nil {
+		return nil, err
+	}
+	s.histModels[arch.Name] = model
+	return model, nil
+}
+
+// Rel2 fits (and memoises) relationship 2 across the established
+// servers AppServF and AppServVF.
+func (s *Suite) Rel2() (*hist.Relationship2, error) {
+	if s.rel2 != nil {
+		return s.rel2, nil
+	}
+	f, err := s.HistModel(workload.AppServF())
+	if err != nil {
+		return nil, err
+	}
+	vf, err := s.HistModel(workload.AppServVF())
+	if err != nil {
+		return nil, err
+	}
+	rel2, err := hist.FitRelationship2([]*hist.ServerModel{f, vf})
+	if err != nil {
+		return nil, err
+	}
+	s.rel2 = rel2
+	return rel2, nil
+}
+
+// HistNewServer predicts (and memoises) the new architecture's
+// (AppServS) historical model from its max-throughput benchmark via
+// relationship 2.
+func (s *Suite) HistNewServer() (*hist.ServerModel, error) {
+	if s.histNew != nil {
+		return s.histNew, nil
+	}
+	rel2, err := s.Rel2()
+	if err != nil {
+		return nil, err
+	}
+	xMax, err := s.MaxThroughput(workload.AppServS())
+	if err != nil {
+		return nil, err
+	}
+	model, err := rel2.NewServerModel(workload.AppServS(), xMax)
+	if err != nil {
+		return nil, err
+	}
+	s.histNew = model
+	return model, nil
+}
+
+// HistModelFor returns the historical model used for an architecture:
+// measured calibration for established servers, relationship 2 for the
+// new one.
+func (s *Suite) HistModelFor(arch workload.ServerArch) (*hist.ServerModel, error) {
+	if arch.Established {
+		return s.HistModel(arch)
+	}
+	return s.HistNewServer()
+}
+
+// LQNDemands calibrates (and memoises) the per-request-type demands on
+// AppServF per §5: one single-request-type measurement per type,
+// demands from the utilisation law.
+func (s *Suite) LQNDemands() (map[workload.RequestType]workload.Demand, error) {
+	if s.lqnDemands != nil {
+		return s.lqnDemands, nil
+	}
+	truth := workload.CaseStudyDemands()
+	demands := make(map[workload.RequestType]workload.Demand, 2)
+	for _, rt := range []workload.RequestType{workload.Browse, workload.Buy} {
+		class := workload.ServiceClass{
+			Name:          "calib",
+			Mix:           workload.Mix{rt: 1},
+			ThinkTimeMean: workload.ThinkTimeMean,
+		}
+		res, err := trade.Measure(workload.AppServF(), workload.Workload{{Class: class, Clients: 1100}}, s.Opt)
+		if err != nil {
+			return nil, err
+		}
+		d, err := lqn.CalibrateDemand(lqn.CalibrationRun{
+			Throughput:        res.Throughput,
+			AppUtilization:    res.AppUtilization,
+			DBUtilization:     res.DBUtilization,
+			DBCallsPerRequest: truth[rt].DBCallsPerRequest,
+			AppSpeed:          1,
+			DBSpeed:           1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: calibrating %s: %w", rt, err)
+		}
+		demands[rt] = d
+	}
+	s.lqnDemands = demands
+	return demands, nil
+}
+
+// LQNPredict solves the layered model for an architecture and
+// workload using the calibrated demands.
+func (s *Suite) LQNPredict(arch workload.ServerArch, load workload.Workload) (*lqn.Result, error) {
+	demands, err := s.LQNDemands()
+	if err != nil {
+		return nil, err
+	}
+	return lqn.PredictTrade(arch, demands, load, s.LQNOpt)
+}
+
+// Hybrid builds (and memoises) the advanced hybrid model over all
+// three architectures.
+func (s *Suite) Hybrid() (*hybrid.Model, error) {
+	if s.hybridModel != nil {
+		return s.hybridModel, nil
+	}
+	demands, err := s.LQNDemands()
+	if err != nil {
+		return nil, err
+	}
+	m, err := hybrid.Build(hybrid.Config{
+		DB:      workload.CaseStudyDB(),
+		Demands: demands,
+		LQN:     s.LQNOpt,
+	}, workload.CaseStudyServers())
+	if err != nil {
+		return nil, err
+	}
+	s.hybridModel = m
+	return m, nil
+}
+
+// LaplaceScale calibrates (and memoises) the §7.1 post-saturation
+// Laplace scale b from one saturated measurement on AppServF.
+func (s *Suite) LaplaceScale() (float64, error) {
+	if s.laplaceScale != 0 {
+		return s.laplaceScale, nil
+	}
+	xMax, err := s.MaxThroughput(workload.AppServF())
+	if err != nil {
+		return 0, err
+	}
+	m, err := s.Gradient()
+	if err != nil {
+		return 0, err
+	}
+	n := int(1.4 * xMax / m)
+	res, err := trade.Measure(workload.AppServF(), workload.TypicalWorkload(n), s.Opt)
+	if err != nil {
+		return 0, err
+	}
+	samples := res.PerClass["browse"].Samples
+	b, err := calibrateLaplace(samples, res.MeanRT)
+	if err != nil {
+		return 0, err
+	}
+	s.laplaceScale = b
+	return b, nil
+}

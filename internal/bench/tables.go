@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"perfpred/internal/rtdist"
+	"perfpred/internal/workload"
+)
+
+func calibrateLaplace(samples []float64, location float64) (float64, error) {
+	return rtdist.CalibrateScale(samples, location)
+}
+
+// Table1 regenerates the paper's Table 1: the historical method's
+// relationship-1 parameters per server. Established servers carry the
+// fitted values; the new server carries relationship-2 extrapolations.
+func (s *Suite) Table1() (*Table, error) {
+	t := &Table{
+		ID:     "Table 1",
+		Title:  "Historical method relationship parameters",
+		Header: []string{"Server", "cL (ms)", "lambdaL", "lambdaU (ms/client)", "cU (ms)", "m", "Xmax (req/s)"},
+	}
+	for _, arch := range workload.CaseStudyServers() {
+		m, err := s.HistModelFor(arch)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(arch.Name, f1(m.CL*1000), g3(m.LambdaL), g3(m.LambdaU*1000), f1(m.CU*1000), f3(m.M), f1(m.MaxThroughput))
+	}
+	t.AddNote("paper (Table 1, ms): S cL=138.9 λL=4e-06, F cL=84.1 λL=1e-04, VF cL=10.7 λL=9e-04")
+	t.AddNote("paper gradient m = 0.14 across all servers (1.3%% accuracy)")
+	t.AddNote("S parameters extrapolated via relationship 2 from F and VF, as in §4.2")
+	return t, nil
+}
+
+// Table2 regenerates the paper's Table 2: the layered queuing
+// processing-time parameters calibrated on AppServF with the §5
+// utilisation-law procedure.
+func (s *Suite) Table2() (*Table, error) {
+	demands, err := s.LQNDemands()
+	if err != nil {
+		return nil, err
+	}
+	truth := workload.CaseStudyDemands()
+	t := &Table{
+		ID:     "Table 2",
+		Title:  "Layered queuing processing-time parameters calibrated on AppServF",
+		Header: []string{"Request type", "App server (ms)", "DB server (ms/call)", "DB calls/request", "Ground truth app (ms)"},
+	}
+	for _, rt := range []workload.RequestType{workload.Browse, workload.Buy} {
+		d := demands[rt]
+		t.AddRow(string(rt), f3(d.AppServerTime*1000), f3(d.DBTimePerCall*1000), f2(d.DBCallsPerRequest), f3(truth[rt].AppServerTime*1000))
+	}
+	t.AddNote("paper (Table 2, ms): browse app=4.505 db=0.8294; buy app=8.761 db=1.613")
+	t.AddNote("this testbed's ground truth anchors AppServF at 186 req/s, so app-server times differ in absolute value; the buy/browse ratio and db-call counts carry the paper's values")
+	return t, nil
+}
+
+// ThroughputGradient reports the §4.1 gradient experiment: m measured
+// per server and its cross-server prediction accuracy.
+func (s *Suite) ThroughputGradient() (*Table, error) {
+	t := &Table{
+		ID:     "Gradient",
+		Title:  "Clients->throughput gradient m per server (section 4.1)",
+		Header: []string{"Server", "m (fitted)", "Xmax (req/s)", "N* (clients)"},
+	}
+	mShared, err := s.Gradient()
+	if err != nil {
+		return nil, err
+	}
+	var worst float64 = 100
+	for _, arch := range workload.CaseStudyServers() {
+		model, err := s.HistModelFor(arch)
+		if err != nil {
+			return nil, err
+		}
+		// Per-server m from one below-saturation measurement.
+		xMax := model.MaxThroughput
+		n := int(0.4 * xMax / mShared)
+		points, err := measureCurveCached(s, arch, []int{n})
+		if err != nil {
+			return nil, err
+		}
+		mServer := points[0].Res.Throughput / float64(points[0].Clients)
+		acc := 100 * (1 - abs(mServer-mShared)/mShared)
+		if acc < worst {
+			worst = acc
+		}
+		t.AddRow(arch.Name, f3(mServer), f1(xMax), f1(xMax/mServer))
+	}
+	t.AddRow("shared fit", f3(mShared), "-", "-")
+	t.AddNote("cross-server gradient agreement: worst-case %.1f%% (paper: m=0.14, 1.3%% error)", 100-worst)
+	return t, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,34 @@
+// Package hist implements the paper's historical performance
+// prediction method (§4), the approach realised by the authors' HYDRA
+// tool: sample performance metrics, associate them with workload and
+// architecture variables, and fit the small number of trend
+// relationships a resource manager actually needs.
+//
+// Three relationships model the case study:
+//
+//  1. Clients → mean response time (§4.1): a 'lower' exponential
+//     equation mrt = cL·e^(λL·N) before max throughput, an 'upper'
+//     linear equation mrt = λU·N + cU after it, and a transition
+//     relationship phasing between them between 66% and 110% of the
+//     max-throughput load. The correct equation is chosen via the
+//     linear clients→throughput relationship X = m·N (m ≈ 0.14 in the
+//     case study, shared across architectures because it depends on
+//     the think time, not CPU speed).
+//
+//  2. Max throughput → relationship-1 parameters (§4.2): cL varies
+//     linearly and λL as a power law of the server's benchmarked max
+//     throughput; λU scales inversely with max throughput and cU is
+//     roughly constant. Fitting these across established servers lets
+//     the method predict *new* architectures from a single
+//     max-throughput benchmark.
+//
+//  3. Buy-request % → max throughput (§4.3): max throughput falls
+//     linearly in the buy percentage on an established server, and a
+//     new server's mixed-workload max throughput is extrapolated by
+//     the ratio of typical-workload max throughputs.
+//
+// Predictions are closed-form and effectively instantaneous (§8.5),
+// and the method can invert its equations to answer "how many clients
+// can this server hold under an SLA goal" directly (§8.2) — the two
+// operational advantages the paper credits the historical method with.
+package hist

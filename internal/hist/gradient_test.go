@@ -1,0 +1,104 @@
+package hist
+
+import (
+	"math"
+	"testing"
+
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
+)
+
+func TestPredictGradient(t *testing.T) {
+	// Z = 7s, negligible RT: m ≈ 1/7 ≈ 0.143 — the case-study 0.14.
+	m, err := PredictGradient(7, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-1/7.01) > 1e-12 {
+		t.Fatalf("m = %v", m)
+	}
+	if _, err := PredictGradient(-1, 0.01); err == nil {
+		t.Fatal("negative think should fail")
+	}
+	if _, err := PredictGradient(0, 0); err == nil {
+		t.Fatal("zero-zero should fail")
+	}
+}
+
+func TestRescaleGradient(t *testing.T) {
+	// Calibrated m = 0.14 at Z = 7 implies R0 = 1/0.14 − 7 ≈ 0.143s;
+	// rescaling to Z = 3.5 gives 1/(3.5+0.143) ≈ 0.2745.
+	m, err := RescaleGradient(0.14, 7, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (3.5 + (1/0.14 - 7))
+	if math.Abs(m-want) > 1e-12 {
+		t.Fatalf("rescaled m = %v, want %v", m, want)
+	}
+	// Identity rescale.
+	same, err := RescaleGradient(0.14, 7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(same-0.14) > 1e-12 {
+		t.Fatalf("identity rescale = %v", same)
+	}
+	if _, err := RescaleGradient(0, 7, 3); err == nil {
+		t.Fatal("zero gradient should fail")
+	}
+	// m too large for the think time (would imply negative R0).
+	if _, err := RescaleGradient(1, 7, 3); err == nil {
+		t.Fatal("impossible gradient should fail")
+	}
+}
+
+// TestGradientPredictionAgainstSimulator checks §4.1's claim on the
+// simulated testbed: the gradient transfers across think times via
+// m = 1/(Z+R₀), and does not vary with server CPU speed.
+func TestGradientPredictionAgainstSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed test")
+	}
+	opt := trade.MeasureOptions{Seed: 37, WarmUp: 40, Duration: 140}
+	measureM := func(arch workload.ServerArch, think float64, clients int) float64 {
+		class := workload.ServiceClass{
+			Name:          "browse",
+			Mix:           workload.Mix{workload.Browse: 1},
+			ThinkTimeMean: think,
+		}
+		res, err := trade.Measure(arch, workload.Workload{{Class: class, Clients: clients}}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput / float64(clients)
+	}
+
+	// Calibrate at Z=7 on AppServF, well below saturation.
+	m7 := measureM(workload.AppServF(), 7, 500)
+
+	// Predict Z=3.5 and Z=14 by rescaling, then verify by measurement.
+	for _, tc := range []struct {
+		think   float64
+		clients int
+	}{
+		{3.5, 300}, {14, 900},
+	} {
+		predicted, err := RescaleGradient(m7, 7, tc.think)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := measureM(workload.AppServF(), tc.think, tc.clients)
+		if math.Abs(predicted-measured)/measured > 0.05 {
+			t.Fatalf("Z=%v: predicted m %v vs measured %v", tc.think, predicted, measured)
+		}
+	}
+
+	// CPU speed invariance: the slow server's gradient matches at the
+	// same think time (§4.1: m "does not vary due to different server
+	// CPU speeds").
+	mSlow := measureM(workload.AppServS(), 7, 250)
+	if math.Abs(mSlow-m7)/m7 > 0.05 {
+		t.Fatalf("gradient varies across speeds: S %v vs F %v", mSlow, m7)
+	}
+}

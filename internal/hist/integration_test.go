@@ -1,0 +1,114 @@
+package hist
+
+import (
+	"testing"
+
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
+)
+
+// TestHistoricalPipelineAgainstSimulator runs the paper's full §4
+// workflow against the simulated testbed: calibrate the gradient and
+// the established servers (AppServF, AppServVF) from a handful of
+// measured data points, fit relationship 2 across them, predict the
+// new server (AppServS) from its max-throughput benchmark alone, and
+// check the predictions against fresh measurements — the figure 2
+// experiment in miniature.
+func TestHistoricalPipelineAgainstSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed pipeline test")
+	}
+	opt := trade.MeasureOptions{Seed: 21, WarmUp: 40, Duration: 150}
+
+	calibrateOne := func(arch workload.ServerArch) *ServerModel {
+		t.Helper()
+		xMax, err := trade.MaxThroughput(arch, 0, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nStar := xMax / 0.14
+		// Two lower + two upper data points, the paper's minimum.
+		counts := []int{int(0.25 * nStar), int(0.55 * nStar), int(1.2 * nStar), int(1.6 * nStar)}
+		points, err := trade.MeasureCurve(arch, counts, 0, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dps []DataPoint
+		var tps []ThroughputPoint
+		for _, p := range points {
+			dps = append(dps, DataPoint{Clients: float64(p.Clients), MeanRT: p.Res.MeanRT, Samples: p.Res.PerClass["browse"].Completed})
+			if float64(p.Clients) < 0.66*nStar {
+				tps = append(tps, ThroughputPoint{Clients: float64(p.Clients), Throughput: p.Res.Throughput})
+			}
+		}
+		m, err := CalibrateGradient(tps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m < 0.12 || m > 0.15 {
+			t.Fatalf("%s gradient m = %v, want ≈0.14", arch.Name, m)
+		}
+		model, err := CalibrateServer(arch, xMax, m, dps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return model
+	}
+
+	fModel := calibrateOne(workload.AppServF())
+	vfModel := calibrateOne(workload.AppServVF())
+
+	// Established-server accuracy on fresh measurements.
+	freshOpt := opt
+	freshOpt.Seed = 99
+	for _, tc := range []struct {
+		model *ServerModel
+	}{{fModel}, {vfModel}} {
+		nStar := tc.model.SaturationClients()
+		counts := []int{int(0.3 * nStar), int(0.5 * nStar), int(1.3 * nStar), int(1.7 * nStar)}
+		points, err := trade.MeasureCurve(tc.model.Arch, counts, 0, freshOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dps []DataPoint
+		for _, p := range points {
+			dps = append(dps, DataPoint{Clients: float64(p.Clients), MeanRT: p.Res.MeanRT})
+		}
+		acc := EvaluateAccuracy(tc.model, dps)
+		// The paper reports 89.1% for established servers; allow a
+		// generous floor since our points and seeds differ.
+		if acc < 75 {
+			t.Fatalf("%s established accuracy = %.1f%%, want ≥75%%", tc.model.Arch.Name, acc)
+		}
+	}
+
+	// New-server prediction via relationship 2 from the benchmark only.
+	rel2, err := FitRelationship2([]*ServerModel{fModel, vfModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBench, err := trade.MaxThroughput(workload.AppServS(), 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sModel, err := rel2.NewServerModel(workload.AppServS(), sBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nStar := sModel.SaturationClients()
+	counts := []int{int(0.3 * nStar), int(0.5 * nStar), int(1.3 * nStar), int(1.7 * nStar)}
+	points, err := trade.MeasureCurve(workload.AppServS(), counts, 0, freshOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dps []DataPoint
+	for _, p := range points {
+		dps = append(dps, DataPoint{Clients: float64(p.Clients), MeanRT: p.Res.MeanRT})
+	}
+	acc := EvaluateAccuracy(sModel, dps)
+	// The paper reports 83% for the new server.
+	if acc < 65 {
+		t.Fatalf("new-server accuracy = %.1f%%, want ≥65%%", acc)
+	}
+	t.Logf("new-server (AppServS) historical accuracy: %.1f%%", acc)
+}

@@ -1,0 +1,178 @@
+package hist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"perfpred/internal/rtdist"
+	"perfpred/internal/workload"
+)
+
+// Transition bounds: the paper found phasing between the lower and
+// upper equations "between 66% and 110% of the max throughput load"
+// effective in its experimental setup.
+const (
+	TransitionLow  = 0.66
+	TransitionHigh = 1.10
+)
+
+// DataPoint is one historical measurement: the mean response time
+// observed at a client population (averaged across Samples samples).
+type DataPoint struct {
+	Clients float64
+	// MeanRT is the mean response time in seconds.
+	MeanRT float64
+	// Samples records how many response-time samples the mean
+	// averages (ns in the paper; 50 suffices).
+	Samples int
+}
+
+// ServerModel is the calibrated relationship-1 model for one server
+// architecture: the paper's (cL, λL, λU, cU, m) parameter set plus the
+// benchmarked max throughput that anchors the lower/upper split.
+type ServerModel struct {
+	// Arch is the architecture this model predicts.
+	Arch workload.ServerArch
+	// MaxThroughput is the server's max throughput under the workload
+	// being modelled, requests/second.
+	MaxThroughput float64
+	// CL and LambdaL parameterise the lower equation
+	// mrt = CL·e^(LambdaL·N).
+	CL, LambdaL float64
+	// LambdaU and CU parameterise the upper equation
+	// mrt = LambdaU·N + CU.
+	LambdaU, CU float64
+	// M is the clients→throughput gradient (X = M·N below max
+	// throughput); it depends on the think time, not the CPU speed.
+	M float64
+}
+
+// Validate reports the first structural problem with the model.
+func (s *ServerModel) Validate() error {
+	switch {
+	case s.MaxThroughput <= 0:
+		return errors.New("hist: max throughput must be positive")
+	case s.CL <= 0:
+		return errors.New("hist: cL must be positive")
+	case s.M <= 0:
+		return errors.New("hist: gradient m must be positive")
+	case s.LambdaU <= 0:
+		return errors.New("hist: λU must be positive")
+	}
+	return nil
+}
+
+// SaturationClients returns the client population at max throughput
+// (N* = Xmax / m), the anchor of the lower/upper split.
+func (s *ServerModel) SaturationClients() float64 {
+	return s.MaxThroughput / s.M
+}
+
+// Lower evaluates the lower (pre-saturation) equation at n clients.
+func (s *ServerModel) Lower(n float64) float64 {
+	return s.CL * math.Exp(s.LambdaL*n)
+}
+
+// Upper evaluates the upper (post-saturation) equation at n clients.
+func (s *ServerModel) Upper(n float64) float64 {
+	return s.LambdaU*n + s.CU
+}
+
+// Predict returns the predicted mean response time (seconds) at n
+// clients, selecting the lower equation below 66% of the
+// max-throughput load, the upper equation above 110%, and the
+// transition exponential relationship in between.
+func (s *ServerModel) Predict(n float64) float64 {
+	nStar := s.SaturationClients()
+	lo, hi := TransitionLow*nStar, TransitionHigh*nStar
+	switch {
+	case n <= lo:
+		return s.Lower(n)
+	case n >= hi:
+		return s.Upper(n)
+	default:
+		// Transition exponential relationship (§4.1): an exponential
+		// anchored at the lower equation's value at 66% of the
+		// max-throughput load and the upper equation's value at 110%,
+		// phasing continuously through the knee. The upper anchor is
+		// floored just above the lower one so the curve stays positive
+		// and monotone even when the upper line is still negative at
+		// the start of the band.
+		loVal := math.Max(s.Lower(lo), 1e-12)
+		hiVal := math.Max(s.Upper(hi), loVal*(1+1e-9))
+		rate := math.Log(hiVal/loVal) / (hi - lo)
+		return loVal * math.Exp(rate*(n-lo))
+	}
+}
+
+// Saturated reports whether n clients put the server at or past the
+// max-throughput load — the flag §7.1's distribution selection needs.
+func (s *ServerModel) Saturated(n float64) bool {
+	return n >= s.SaturationClients()
+}
+
+// PredictThroughput returns the predicted throughput at n clients:
+// linear with gradient M until max throughput, then constant (§4.1).
+func (s *ServerModel) PredictThroughput(n float64) float64 {
+	x := s.M * n
+	if x > s.MaxThroughput {
+		return s.MaxThroughput
+	}
+	return x
+}
+
+// PredictPercentile converts the mean prediction at n clients into a
+// p-th percentile prediction (p a fraction in (0,1)) using the §7.1
+// response-time distributions with Laplace scale b. Unlike the layered
+// queuing method, the historical method could also record percentile
+// metrics directly (§8.2); this extrapolation path is provided for the
+// like-for-like comparison.
+func (s *ServerModel) PredictPercentile(n, p, b float64) (float64, error) {
+	return rtdist.PercentileFromMean(s.Predict(n), s.Saturated(n), b, p)
+}
+
+// MaxClients inverts the model (§8.2): the largest client population
+// whose predicted mean response time stays at or below goalRT seconds.
+// The historical method answers this in closed form by rewriting
+// equations (1) and (2) in terms of the response time; the transition
+// region falls back to a short bisection on the monotone Predict.
+func (s *ServerModel) MaxClients(goalRT float64) (float64, error) {
+	if goalRT <= 0 {
+		return 0, errors.New("hist: goal response time must be positive")
+	}
+	nStar := s.SaturationClients()
+	lo, hi := TransitionLow*nStar, TransitionHigh*nStar
+
+	if s.Predict(lo) >= goalRT {
+		// Invert the lower exponential: N = ln(goal/cL)/λL.
+		if goalRT < s.CL {
+			return 0, nil // even one client misses the goal
+		}
+		if s.LambdaL <= 0 {
+			return lo, nil
+		}
+		return math.Log(goalRT/s.CL) / s.LambdaL, nil
+	}
+	if s.Predict(hi) <= goalRT {
+		// Invert the upper linear: N = (goal − cU)/λU.
+		return (goalRT - s.CU) / s.LambdaU, nil
+	}
+	// Transition region: bisect the monotone blend.
+	for i := 0; i < 200 && hi-lo > 1e-6*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if s.Predict(mid) <= goalRT {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// String summarises the calibrated parameters in the layout of the
+// paper's Table 1.
+func (s *ServerModel) String() string {
+	return fmt.Sprintf("%s: cL=%.1fms λL=%.3g λU=%.3gms cU=%.1fms m=%.3f Xmax=%.1f/s",
+		s.Arch.Name, s.CL*1000, s.LambdaL, s.LambdaU*1000, s.CU*1000, s.M, s.MaxThroughput)
+}

@@ -1,0 +1,86 @@
+package hist
+
+import (
+	"errors"
+	"fmt"
+
+	"perfpred/internal/workload"
+)
+
+// PercentileModel predicts a percentile response time *directly* from
+// historical percentile measurements, using the same
+// lower/upper/transition relationship structure as the mean model.
+// This is the §8.2 capability unique to the historical method: "the
+// historical method ... can record (as variables) both percentile
+// metrics and the time the server has been stabilising", avoiding the
+// small accuracy loss of extrapolating percentiles from mean
+// predictions through the §7.1 distributions.
+type PercentileModel struct {
+	// Model carries the fitted relationship-1 equations; its Predict
+	// returns the percentile response time, not the mean.
+	Model ServerModel
+	// P is the percentile the model predicts, as a fraction in (0,1).
+	P float64
+}
+
+// CalibratePercentile fits a direct percentile model from data points
+// whose MeanRT fields hold the observed P-quantile response times
+// (e.g. measured p90s). maxThroughput and m anchor the lower/upper
+// split exactly as for the mean model.
+func CalibratePercentile(arch workload.ServerArch, maxThroughput, m, p float64, points []DataPoint) (*PercentileModel, error) {
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("hist: percentile %v outside (0,1)", p)
+	}
+	base, err := CalibrateServer(arch, maxThroughput, m, points)
+	if err != nil {
+		return nil, err
+	}
+	return &PercentileModel{Model: *base, P: p}, nil
+}
+
+// Predict returns the predicted P-quantile response time (seconds) at
+// n clients.
+func (pm *PercentileModel) Predict(n float64) float64 {
+	return pm.Model.Predict(n)
+}
+
+// MaxClients inverts the model for a percentile SLA: the largest
+// population whose predicted P-quantile stays at or below goalRT.
+func (pm *PercentileModel) MaxClients(goalRT float64) (float64, error) {
+	return pm.Model.MaxClients(goalRT)
+}
+
+// PercentileRelationship2 fits relationship 2 over direct percentile
+// models, so a new architecture's percentile curve can be predicted
+// from its max-throughput benchmark exactly as for means.
+func PercentileRelationship2(models []*PercentileModel) (*Relationship2, error) {
+	if len(models) < 2 {
+		return nil, errors.New("hist: need at least two established percentile models")
+	}
+	p := models[0].P
+	base := make([]*ServerModel, len(models))
+	for i, m := range models {
+		if m == nil {
+			return nil, errors.New("hist: nil percentile model")
+		}
+		if m.P != p {
+			return nil, fmt.Errorf("hist: mixed percentiles %v and %v", p, m.P)
+		}
+		base[i] = &models[i].Model
+	}
+	return FitRelationship2(base)
+}
+
+// NewPercentileModel extrapolates a new architecture's direct
+// percentile model from relationship 2 fitted with
+// PercentileRelationship2.
+func NewPercentileModel(rel2 *Relationship2, arch workload.ServerArch, maxThroughput, p float64) (*PercentileModel, error) {
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("hist: percentile %v outside (0,1)", p)
+	}
+	base, err := rel2.NewServerModel(arch, maxThroughput)
+	if err != nil {
+		return nil, err
+	}
+	return &PercentileModel{Model: *base, P: p}, nil
+}

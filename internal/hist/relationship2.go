@@ -1,0 +1,102 @@
+package hist
+
+import (
+	"errors"
+	"fmt"
+
+	"perfpred/internal/stats"
+	"perfpred/internal/workload"
+)
+
+// Relationship2 captures §4.2: how the relationship-1 parameters vary
+// with a server's max throughput, fitted across established servers.
+// Given only a new architecture's max-throughput benchmark it yields a
+// full ServerModel — the method's route to predicting servers it has
+// never observed.
+type Relationship2 struct {
+	// CL varies linearly with max throughput:
+	// cL = Δ(cL)·X + C(cL) (equation 3).
+	CL stats.LinearModel
+	// LambdaL varies as a power law:
+	// λL = C(λL)·X^Δ(λL) (equation 4).
+	LambdaL stats.PowerModel
+	// LambdaURef and XRef anchor the inverse scaling of λU: a z%
+	// change in max throughput changes λU by roughly 1/z, so
+	// λU(X) = LambdaURef·XRef/X.
+	LambdaURef float64
+	XRef       float64
+	// CU is roughly constant across architectures; the mean of the
+	// established servers' values.
+	CU float64
+	// M is the shared clients→throughput gradient.
+	M float64
+}
+
+// FitRelationship2 fits the §4.2 scaling functions across two or more
+// established server models.
+func FitRelationship2(models []*ServerModel) (*Relationship2, error) {
+	if len(models) < 2 {
+		return nil, errors.New("hist: relationship 2 needs at least two established servers")
+	}
+	xs := make([]float64, len(models))
+	cls := make([]float64, len(models))
+	lls := make([]float64, len(models))
+	var cuSum, m float64
+	for i, sm := range models {
+		if err := sm.Validate(); err != nil {
+			return nil, fmt.Errorf("hist: established model %d: %w", i, err)
+		}
+		xs[i] = sm.MaxThroughput
+		cls[i] = sm.CL
+		lls[i] = sm.LambdaL
+		cuSum += sm.CU
+		if i == 0 {
+			m = sm.M
+		}
+	}
+	clFit, err := stats.FitLinear(xs, cls)
+	if err != nil {
+		return nil, fmt.Errorf("hist: cL fit: %w", err)
+	}
+	llFit, err := stats.FitPower(xs, lls)
+	if err != nil {
+		return nil, fmt.Errorf("hist: λL fit: %w", err)
+	}
+	ref := models[0]
+	return &Relationship2{
+		CL:         clFit,
+		LambdaL:    llFit,
+		LambdaURef: ref.LambdaU,
+		XRef:       ref.MaxThroughput,
+		CU:         cuSum / float64(len(models)),
+		M:          m,
+	}, nil
+}
+
+// NewServerModel predicts a ServerModel for a new architecture from
+// its benchmarked typical-workload max throughput.
+func (r *Relationship2) NewServerModel(arch workload.ServerArch, maxThroughput float64) (*ServerModel, error) {
+	if maxThroughput <= 0 {
+		return nil, errors.New("hist: max throughput must be positive")
+	}
+	cl := r.CL.Eval(maxThroughput)
+	if cl <= 0 {
+		// A linear extrapolation can cross zero far outside the
+		// calibrated range; clamp to a small positive floor so the
+		// lower equation stays well-formed.
+		cl = 1e-6
+	}
+	model := &ServerModel{
+		Arch:          arch,
+		MaxThroughput: maxThroughput,
+		CL:            cl,
+		LambdaL:       r.LambdaL.Eval(maxThroughput),
+		LambdaU:       r.LambdaURef * r.XRef / maxThroughput,
+		CU:            r.CU,
+		M:             r.M,
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return model, nil
+}

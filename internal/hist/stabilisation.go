@@ -1,0 +1,127 @@
+package hist
+
+import (
+	"errors"
+	"math"
+
+	"perfpred/internal/stats"
+)
+
+// StabilisationPoint is one observation of the warm-up trajectory: the
+// mean response time over a time bucket ending at Time seconds after
+// cold start.
+type StabilisationPoint struct {
+	Time   float64
+	MeanRT float64
+}
+
+// StabilisationModel captures how a server settles toward steady state
+// after a cold start or a workload transfer:
+//
+//	rt(t) = Steady + (R0 − Steady) · e^(−t/Tau)
+//
+// The §8.2 discussion credits the historical method with being able to
+// record "the time the server has been stabilising toward the steady
+// state" as a variable — this model is that variable's fitted form,
+// letting a resource manager discount measurements taken too early and
+// predict when a freshly loaded server's numbers become trustworthy.
+type StabilisationModel struct {
+	// Steady is the settled mean response time, seconds.
+	Steady float64
+	// R0 is the extrapolated response time at t = 0.
+	R0 float64
+	// Tau is the exponential settling time constant, seconds.
+	Tau float64
+}
+
+// FitStabilisation fits the exponential settling model to a cold-start
+// trajectory. The steady level is estimated from the tail third of the
+// points; the time constant comes from a log-linear fit of the decay
+// of |rt − steady| over the points still meaningfully away from
+// steady. It needs at least six points.
+func FitStabilisation(points []StabilisationPoint) (*StabilisationModel, error) {
+	if len(points) < 6 {
+		return nil, errors.New("hist: need at least six stabilisation points")
+	}
+	for _, p := range points {
+		if p.Time <= 0 || p.MeanRT < 0 {
+			return nil, errors.New("hist: invalid stabilisation point")
+		}
+	}
+	tail := points[len(points)*2/3:]
+	var steady float64
+	for _, p := range tail {
+		steady += p.MeanRT
+	}
+	steady /= float64(len(tail))
+	if steady <= 0 {
+		return nil, errors.New("hist: degenerate steady level")
+	}
+
+	// Points whose gap from steady is large enough to carry decay
+	// information (beyond measurement noise).
+	noise := 0.02 * steady
+	var ts, gaps []float64
+	for _, p := range points[:len(points)*2/3] {
+		gap := math.Abs(p.MeanRT - steady)
+		if gap > noise {
+			ts = append(ts, p.Time)
+			gaps = append(gaps, gap)
+		}
+	}
+	if len(ts) < 2 {
+		// Already steady from the first bucket.
+		return &StabilisationModel{Steady: steady, R0: steady, Tau: 0}, nil
+	}
+	expFit, err := stats.FitExponential(ts, gaps)
+	if err != nil {
+		return nil, err
+	}
+	if expFit.Rate >= 0 {
+		// Not decaying: treat as already steady rather than fail, but
+		// report an infinite time constant via Tau = 0 with R0 far
+		// from steady so callers can see the misfit.
+		return &StabilisationModel{Steady: steady, R0: steady, Tau: 0}, nil
+	}
+	tau := -1 / expFit.Rate
+	sign := 1.0
+	if points[0].MeanRT < steady {
+		sign = -1
+	}
+	return &StabilisationModel{
+		Steady: steady,
+		R0:     steady + sign*expFit.Coeff,
+		Tau:    tau,
+	}, nil
+}
+
+// At returns the model's mean response time t seconds after cold
+// start.
+func (m *StabilisationModel) At(t float64) float64 {
+	if m.Tau <= 0 {
+		return m.Steady
+	}
+	return m.Steady + (m.R0-m.Steady)*math.Exp(-t/m.Tau)
+}
+
+// TimeToSteady returns how long after cold start the response time
+// stays within the given relative tolerance of the steady level — the
+// point after which historical samples are trustworthy. A zero Tau
+// means immediately.
+func (m *StabilisationModel) TimeToSteady(tolerance float64) float64 {
+	if m.Tau <= 0 {
+		return 0
+	}
+	if tolerance <= 0 {
+		tolerance = 0.05
+	}
+	gap := math.Abs(m.R0 - m.Steady)
+	if gap == 0 {
+		return 0
+	}
+	target := tolerance * m.Steady
+	if target >= gap {
+		return 0
+	}
+	return m.Tau * math.Log(gap/target)
+}

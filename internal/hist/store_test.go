@@ -1,0 +1,179 @@
+package hist
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfpred/internal/workload"
+)
+
+func populatedStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	truth := caseModelF()
+	if err := s.RecordGradient(truth.M); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordMaxThroughput("AppServF", TypicalWorkloadKey, truth.MaxThroughput); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range syntheticPoints(truth, 2, 2) {
+		if err := s.RecordPoint("AppServF", TypicalWorkloadKey, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestStoreRecordAndQuery(t *testing.T) {
+	s := populatedStore(t)
+	if got := s.Gradient(); got != 0.14 {
+		t.Fatalf("gradient = %v", got)
+	}
+	x, ok := s.MaxThroughput("AppServF", TypicalWorkloadKey)
+	if !ok || x != 186 {
+		t.Fatalf("benchmark = %v, %v", x, ok)
+	}
+	if _, ok := s.MaxThroughput("AppServF", "buy=25"); ok {
+		t.Fatal("missing workload key should report absent")
+	}
+	if _, ok := s.MaxThroughput("ghost", TypicalWorkloadKey); ok {
+		t.Fatal("missing server should report absent")
+	}
+	pts := s.Points("AppServF", TypicalWorkloadKey)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Clients < pts[i-1].Clients {
+			t.Fatal("points not sorted by clients")
+		}
+	}
+	if got := s.Servers(); len(got) != 1 || got[0] != "AppServF" {
+		t.Fatalf("servers = %v", got)
+	}
+	if s.Points("ghost", TypicalWorkloadKey) != nil {
+		t.Fatal("missing server points should be nil")
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.RecordPoint("", "k", DataPoint{Clients: 1, MeanRT: 1}); err == nil {
+		t.Fatal("empty server should fail")
+	}
+	if err := s.RecordPoint("s", "", DataPoint{Clients: 1, MeanRT: 1}); err == nil {
+		t.Fatal("empty workload key should fail")
+	}
+	if err := s.RecordPoint("s", "k", DataPoint{Clients: 0, MeanRT: 1}); err == nil {
+		t.Fatal("invalid point should fail")
+	}
+	if err := s.RecordMaxThroughput("s", "k", 0); err == nil {
+		t.Fatal("invalid benchmark should fail")
+	}
+	if err := s.RecordGradient(0); err == nil {
+		t.Fatal("invalid gradient should fail")
+	}
+}
+
+func TestStoreCalibrate(t *testing.T) {
+	s := populatedStore(t)
+	truth := caseModelF()
+	model, err := s.Calibrate(workload.AppServF(), TypicalWorkloadKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nStar := truth.SaturationClients()
+	for _, n := range []float64{0.3 * nStar, 1.4 * nStar} {
+		want := truth.Predict(n)
+		got := model.Predict(n)
+		if diff := (got - want) / want; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("store-calibrated predict(%v) = %v, want %v", n, got, want)
+		}
+	}
+	// Missing pieces produce targeted errors.
+	empty := NewStore()
+	if _, err := empty.Calibrate(workload.AppServF(), TypicalWorkloadKey); err == nil {
+		t.Fatal("missing benchmark should fail")
+	}
+	if err := empty.RecordMaxThroughput("AppServF", TypicalWorkloadKey, 186); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.Calibrate(workload.AppServF(), TypicalWorkloadKey); err == nil {
+		t.Fatal("missing gradient should fail")
+	}
+	if err := empty.RecordGradient(0.14); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.Calibrate(workload.AppServF(), TypicalWorkloadKey); err == nil {
+		t.Fatal("missing points should fail")
+	}
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	s := populatedStore(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back := NewStore()
+	if err := back.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if back.Gradient() != s.Gradient() {
+		t.Fatal("gradient lost in round trip")
+	}
+	if len(back.Points("AppServF", TypicalWorkloadKey)) != 4 {
+		t.Fatal("points lost in round trip")
+	}
+	if err := back.Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage should fail to load")
+	}
+}
+
+func TestStoreFilePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hydra.json")
+	s := populatedStore(t)
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back := NewStore()
+	if err := back.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := back.Calibrate(workload.AppServF(), TypicalWorkloadKey); err != nil {
+		t.Fatalf("calibrate from reloaded store: %v", err)
+	}
+	// Missing files bootstrap silently.
+	fresh := NewStore()
+	if err := fresh.LoadFile(filepath.Join(t.TempDir(), "missing.json")); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Servers()) != 0 {
+		t.Fatal("fresh store should be empty")
+	}
+}
+
+func TestStorePrune(t *testing.T) {
+	s := NewStore()
+	for i := 1; i <= 10; i++ {
+		if err := s.RecordPoint("srv", "k", DataPoint{Clients: float64(i), MeanRT: 0.01}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Prune(3)
+	pts := s.Points("srv", "k")
+	if len(pts) != 3 {
+		t.Fatalf("pruned to %d, want 3", len(pts))
+	}
+	// Most recent (largest client counts in this insertion order) kept.
+	if pts[0].Clients != 8 || pts[2].Clients != 10 {
+		t.Fatalf("kept wrong points: %+v", pts)
+	}
+	s.Prune(-1)
+	if len(s.Points("srv", "k")) != 0 {
+		t.Fatal("negative keep should clear")
+	}
+}

@@ -1,0 +1,239 @@
+// Package hybrid implements the paper's hybrid prediction method
+// (§6): a historical model whose calibration data is *generated* by a
+// layered queuing model instead of being measured. The layered model
+// is calibrated once (per §5); thereafter it is solved at a handful of
+// client populations per server architecture to produce pseudo
+// historical data points, which calibrate relationship 1 (and, for
+// heterogeneous workloads, relationship 3) of the historical model.
+//
+// This is the paper's "advanced" hybrid model: the layered model
+// generates data for the specific architectures predictions are
+// required for, so relationship 2 is not needed — each architecture is
+// represented as an established server. The cost is a one-off
+// "start-up" delay while the layered solver runs (11 seconds on the
+// paper's Athlon); after it, predictions are closed-form and as fast
+// as the historical method's.
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"perfpred/internal/hist"
+	"perfpred/internal/lqn"
+	"perfpred/internal/workload"
+)
+
+// Config controls hybrid model construction.
+type Config struct {
+	// DB is the shared database server.
+	DB workload.DBServer
+	// Demands are the layered-queuing calibrated per-request-type
+	// demands on the reference architecture (§5, Table 2).
+	Demands map[workload.RequestType]workload.Demand
+	// PointsPerEquation is how many pseudo historical data points the
+	// layered model generates for each of the lower and upper
+	// equations (the paper uses a maximum of 4). 0 selects 4; the
+	// minimum is 2.
+	PointsPerEquation int
+	// LQN tunes the layered solver used for data generation.
+	LQN lqn.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.PointsPerEquation == 0 {
+		c.PointsPerEquation = 4
+	}
+	return c
+}
+
+// Model is a calibrated hybrid model: one historical server model per
+// architecture, all calibrated from layered-queuing pseudo data.
+type Model struct {
+	// Servers maps architecture name to its calibrated historical
+	// model.
+	Servers map[string]*hist.ServerModel
+	// StartupDelay is the total time spent generating pseudo
+	// historical data and calibrating — the §6/§8.5 one-off cost
+	// before the first prediction.
+	StartupDelay time.Duration
+	// Evaluations counts layered-solver runs during start-up.
+	Evaluations int
+}
+
+// Build constructs the hybrid model for the given architectures. For
+// each architecture it derives the max throughput and gradient from
+// the layered model, generates the pseudo data points, and calibrates
+// relationship 1.
+func Build(cfg Config, servers []workload.ServerArch) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if cfg.PointsPerEquation < 2 {
+		return nil, errors.New("hybrid: need at least 2 points per equation")
+	}
+	if len(servers) == 0 {
+		return nil, errors.New("hybrid: no server architectures")
+	}
+	start := time.Now()
+	m := &Model{Servers: make(map[string]*hist.ServerModel, len(servers))}
+	for _, arch := range servers {
+		sm, evals, err := buildServer(cfg, arch)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid: building %s: %w", arch.Name, err)
+		}
+		m.Evaluations += evals
+		m.Servers[arch.Name] = sm
+	}
+	m.StartupDelay = time.Since(start)
+	return m, nil
+}
+
+// solveTypical evaluates the layered model for the typical (all
+// browse) workload at n clients.
+func solveTypical(cfg Config, arch workload.ServerArch, n int) (*lqn.Result, error) {
+	model, err := lqn.NewTradeModel(arch, cfg.DB, cfg.Demands, workload.TypicalWorkload(n))
+	if err != nil {
+		return nil, err
+	}
+	return lqn.Solve(model, cfg.LQN)
+}
+
+func buildServer(cfg Config, arch workload.ServerArch) (*hist.ServerModel, int, error) {
+	evals := 0
+	// Max throughput: solve far past the saturation the benchmark
+	// suggests and read the plateau throughput.
+	estSat := int(arch.Speed * workload.MaxThroughputF * (workload.ThinkTimeMean + 1))
+	res, err := solveTypical(cfg, arch, 2*estSat)
+	if err != nil {
+		return nil, evals, err
+	}
+	evals++
+	xMax := res.TotalThroughput()
+	if xMax <= 0 {
+		return nil, evals, errors.New("hybrid: layered model predicts zero max throughput")
+	}
+
+	// Gradient: one light-load solve; m = X/N well below saturation.
+	nLight := maxInt(1, int(0.2*float64(estSat)))
+	res, err = solveTypical(cfg, arch, nLight)
+	if err != nil {
+		return nil, evals, err
+	}
+	evals++
+	m := res.TotalThroughput() / float64(nLight)
+	if m <= 0 {
+		return nil, evals, errors.New("hybrid: layered model predicts zero gradient")
+	}
+	nStar := xMax / m
+
+	// Pseudo historical data: PointsPerEquation populations below 66%
+	// of the max-throughput load and the same number above 110%.
+	var points []hist.DataPoint
+	gen := func(fracs []float64) error {
+		for _, f := range fracs {
+			n := maxInt(1, int(f*nStar))
+			r, err := solveTypical(cfg, arch, n)
+			if err != nil {
+				return err
+			}
+			evals++
+			points = append(points, hist.DataPoint{
+				Clients: float64(n),
+				MeanRT:  r.MeanResponseTime(),
+				Samples: 0, // pseudo data: no real samples behind it
+			})
+		}
+		return nil
+	}
+	if err := gen(spread(0.20, 0.62, cfg.PointsPerEquation)); err != nil {
+		return nil, evals, err
+	}
+	if err := gen(spread(1.15, 1.70, cfg.PointsPerEquation)); err != nil {
+		return nil, evals, err
+	}
+	sm, err := hist.CalibrateServer(arch, xMax, m, points)
+	if err != nil {
+		return nil, evals, err
+	}
+	return sm, evals, nil
+}
+
+// spread returns count values evenly spaced across [lo, hi].
+func spread(lo, hi float64, count int) []float64 {
+	if count == 1 {
+		return []float64{(lo + hi) / 2}
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(count-1)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Predict returns the hybrid mean response time prediction for the
+// named architecture at n clients. After start-up this is closed-form:
+// no layered solves happen here.
+func (m *Model) Predict(server string, n float64) (float64, error) {
+	sm, ok := m.Servers[server]
+	if !ok {
+		return 0, fmt.Errorf("hybrid: no model for server %q", server)
+	}
+	return sm.Predict(n), nil
+}
+
+// PredictPercentile converts the mean prediction into a percentile
+// prediction via the §7.1 distributions, like the historical method.
+func (m *Model) PredictPercentile(server string, n, p, b float64) (float64, error) {
+	sm, ok := m.Servers[server]
+	if !ok {
+		return 0, fmt.Errorf("hybrid: no model for server %q", server)
+	}
+	return sm.PredictPercentile(n, p, b)
+}
+
+// MaxClients inverts the named server's model for an SLA goal — the
+// hybrid method inherits the historical method's closed-form
+// inversion (§8.2).
+func (m *Model) MaxClients(server string, goalRT float64) (float64, error) {
+	sm, ok := m.Servers[server]
+	if !ok {
+		return 0, fmt.Errorf("hybrid: no model for server %q", server)
+	}
+	return sm.MaxClients(goalRT)
+}
+
+// BuildRelationship3 generates relationship 3 (buy% → max throughput)
+// from layered-model max-throughput evaluations at the given buy
+// percentages on the reference (established) architecture — how the
+// paper generates its figure 4 inputs with LQNS.
+func BuildRelationship3(cfg Config, established workload.ServerArch, buyPcts []float64) (*hist.Relationship3, int, error) {
+	cfg = cfg.withDefaults()
+	if len(buyPcts) < 2 {
+		return nil, 0, errors.New("hybrid: need at least two buy percentages")
+	}
+	evals := 0
+	points := make([]hist.BuyPoint, 0, len(buyPcts))
+	estSat := int(established.Speed * workload.MaxThroughputF * (workload.ThinkTimeMean + 1))
+	for _, pct := range buyPcts {
+		load := workload.MixedWorkload(2*estSat, pct/100)
+		model, err := lqn.NewTradeModel(established, cfg.DB, cfg.Demands, load)
+		if err != nil {
+			return nil, evals, err
+		}
+		res, err := lqn.Solve(model, cfg.LQN)
+		if err != nil {
+			return nil, evals, err
+		}
+		evals++
+		points = append(points, hist.BuyPoint{BuyPct: pct, MaxThroughput: res.TotalThroughput()})
+	}
+	rel3, err := hist.FitRelationship3(points)
+	return rel3, evals, err
+}

@@ -1,0 +1,28 @@
+// Package lqn is a from-scratch layered queuing network modelling
+// language and approximate analytic solver, reproducing the role the
+// Layered Queuing Network Solver (LQNS) plays in the paper (§5).
+//
+// A layered queuing model describes software servers explicitly:
+// processors execute tasks; tasks expose entries; entries consume
+// processor demand and make synchronous calls to entries of
+// lower-layer tasks; reference tasks at the top represent closed
+// client populations with think times. This matches the paper's
+// application model — client populations calling application-server
+// entries that call database entries, each tier time-sharing its
+// processor behind FIFO queues.
+//
+// The solver flattens each service class's call graph into visit
+// ratios over the processors and solves the resulting multiclass
+// closed queuing network with Schweitzer's approximate mean value
+// analysis, iterating to a configurable convergence criterion (the
+// paper runs LQNS with a 20 ms criterion). Outputs per service class
+// are mean response time, throughput and per-processor/task
+// utilisations — the same metric set the paper obtains from LQNS, and
+// with the same structural limitation that only steady-state mean
+// values are produced (§8.2).
+//
+// Calibration follows §5: per-request-type demands are estimated from
+// a dedicated run's throughput and CPU utilisations, and new server
+// architectures are modelled by scaling established demands with the
+// benchmarked request-processing-speed ratio.
+package lqn

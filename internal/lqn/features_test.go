@@ -1,0 +1,331 @@
+package lqn
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// featureModel builds a two-layer model with one client class calling
+// entry "op" on a worker task; mutate adds the feature under test.
+func featureModel(pop int, think float64, mutate func(*Model)) *Model {
+	m := &Model{
+		Processors: []*Processor{
+			{Name: "cpu", Mult: 1, Speed: 1, Sched: PS},
+			{Name: "disk", Mult: 1, Speed: 1, Sched: FCFS},
+		},
+		Tasks: []*Task{
+			{Name: "worker", Processor: "cpu", Mult: 20, Entries: []*Entry{
+				{Name: "op", Demand: 0.010},
+			}},
+			{Name: "store", Processor: "disk", Mult: 4, Entries: []*Entry{
+				{Name: "write", Demand: 0.004},
+			}},
+		},
+		Classes: []*Class{
+			{Name: "users", Population: pop, Think: think, Calls: []Call{{Target: "op", Mean: 1}}},
+		},
+	}
+	if mutate != nil {
+		mutate(m)
+	}
+	return m
+}
+
+func mustSolve(t *testing.T, m *Model) *Result {
+	t.Helper()
+	res, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSecondPhaseExcludedFromResponseTime(t *testing.T) {
+	// One customer, no contention: the reply is sent after phase 1, so
+	// response time is the phase-1 demand only.
+	m := featureModel(1, 1, func(m *Model) {
+		m.Tasks[0].Entries[0].Demand2 = 0.050
+	})
+	res := mustSolve(t, m)
+	// The caller waits for phase 1 only; the solver adds a small
+	// background-load correction for the chance the previous request's
+	// phase 2 is still running, so the RT sits just above 10 ms and
+	// far below the 60 ms a synchronous equivalent would cost.
+	got := res.Classes["users"].ResponseTime
+	if got < 0.010 || got > 0.012 {
+		t.Fatalf("RT with second phase = %v, want ≈0.010 (phase 1 only)", got)
+	}
+	// But the processor executes both phases: utilisation reflects
+	// 60 ms of work per request.
+	x := res.Classes["users"].Throughput
+	wantU := x * 0.060
+	if got := res.ProcessorUtil["cpu"]; math.Abs(got-wantU) > 1e-9 {
+		t.Fatalf("cpu utilisation = %v, want %v", got, wantU)
+	}
+}
+
+func TestSecondPhaseCongestsOtherRequests(t *testing.T) {
+	// Under load, second-phase work occupies the processor and slows
+	// everyone, even though no caller waits for it directly.
+	base := mustSolve(t, featureModel(40, 0.2, nil))
+	loaded := mustSolve(t, featureModel(40, 0.2, func(m *Model) {
+		m.Tasks[0].Entries[0].Demand2 = 0.010
+	}))
+	if loaded.Classes["users"].ResponseTime <= base.Classes["users"].ResponseTime {
+		t.Fatalf("second-phase load should raise RT: %v vs %v",
+			loaded.Classes["users"].ResponseTime, base.Classes["users"].ResponseTime)
+	}
+	if loaded.ProcessorUtil["cpu"] <= base.ProcessorUtil["cpu"] {
+		t.Fatal("second-phase load should raise utilisation")
+	}
+}
+
+func TestAsyncCallExcludedFromResponseTime(t *testing.T) {
+	// "op" logs asynchronously to the store: the caller does not wait.
+	sync := mustSolve(t, featureModel(1, 1, func(m *Model) {
+		m.Tasks[0].Entries[0].Calls = []Call{{Target: "write", Mean: 1, Kind: Sync}}
+	}))
+	async := mustSolve(t, featureModel(1, 1, func(m *Model) {
+		m.Tasks[0].Entries[0].Calls = []Call{{Target: "write", Mean: 1, Kind: Async}}
+	}))
+	if got, want := sync.Classes["users"].ResponseTime, 0.014; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sync RT = %v, want %v", got, want)
+	}
+	if got, want := async.Classes["users"].ResponseTime, 0.010; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("async RT = %v, want %v (disk write not awaited)", got, want)
+	}
+	// The disk still does the work.
+	if async.ProcessorUtil["disk"] <= 0 {
+		t.Fatal("async target should still be utilised")
+	}
+	if math.Abs(async.ProcessorUtil["disk"]-async.Classes["users"].Throughput*0.004) > 1e-9 {
+		t.Fatalf("disk utilisation = %v", async.ProcessorUtil["disk"])
+	}
+}
+
+func TestForwardIncludedInResponseTime(t *testing.T) {
+	// Forwarding behaves like a synchronous chain for the caller's
+	// response time.
+	fwd := mustSolve(t, featureModel(1, 1, func(m *Model) {
+		m.Tasks[0].Entries[0].Calls = []Call{{Target: "write", Mean: 1, Kind: Forward}}
+	}))
+	if got, want := fwd.Classes["users"].ResponseTime, 0.014; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("forwarded RT = %v, want %v", got, want)
+	}
+}
+
+func TestOpenClassMM1(t *testing.T) {
+	// A pure open class on a single PS processor is M/M/1: with λ=50
+	// and D=10ms, ρ=0.5 and R = D/(1−ρ) = 20ms.
+	m := featureModel(0, 0, func(m *Model) {
+		m.Classes = []*Class{
+			{Name: "stream", ArrivalRate: 50, Calls: []Call{{Target: "op", Mean: 1}}},
+		}
+	})
+	res := mustSolve(t, m)
+	c := res.Classes["stream"]
+	if c.Throughput != 50 {
+		t.Fatalf("open throughput = %v, want the arrival rate", c.Throughput)
+	}
+	if math.Abs(c.ResponseTime-0.020) > 1e-9 {
+		t.Fatalf("open RT = %v, want 0.020 (M/M/1)", c.ResponseTime)
+	}
+	if math.Abs(res.ProcessorUtil["cpu"]-0.5) > 1e-9 {
+		t.Fatalf("open utilisation = %v, want 0.5", res.ProcessorUtil["cpu"])
+	}
+}
+
+func TestMixedNetworkOpenLoadSlowsClosedClass(t *testing.T) {
+	base := mustSolve(t, featureModel(20, 0.5, nil))
+	mixed := mustSolve(t, featureModel(20, 0.5, func(m *Model) {
+		m.Classes = append(m.Classes, &Class{
+			Name: "stream", ArrivalRate: 40, Calls: []Call{{Target: "op", Mean: 1}},
+		})
+	}))
+	if mixed.Classes["users"].ResponseTime <= base.Classes["users"].ResponseTime {
+		t.Fatalf("open load should slow the closed class: %v vs %v",
+			mixed.Classes["users"].ResponseTime, base.Classes["users"].ResponseTime)
+	}
+	// And the closed queue slows the open class beyond bare M/M/1.
+	pureOpen := 0.010 / (1 - 40*0.010)
+	if mixed.Classes["stream"].ResponseTime <= pureOpen {
+		t.Fatalf("closed contention should slow the open class: %v vs %v",
+			mixed.Classes["stream"].ResponseTime, pureOpen)
+	}
+}
+
+func TestOpenSaturationRejected(t *testing.T) {
+	m := featureModel(0, 0, func(m *Model) {
+		m.Classes = []*Class{
+			{Name: "flood", ArrivalRate: 150, Calls: []Call{{Target: "op", Mean: 1}}}, // ρ = 1.5
+		}
+	})
+	if _, err := Solve(m, Options{}); err == nil || !strings.Contains(err.Error(), "saturate") {
+		t.Fatalf("expected saturation error, got %v", err)
+	}
+}
+
+func TestPriorityClassesOrdered(t *testing.T) {
+	// Two identical classes, one high priority: under contention the
+	// high-priority class must see a lower response time.
+	build := func(hiPrio int) *Model {
+		return featureModel(0, 0, func(m *Model) {
+			m.Classes = []*Class{
+				{Name: "gold", Population: 30, Think: 0.1, Priority: hiPrio, Calls: []Call{{Target: "op", Mean: 1}}},
+				{Name: "bronze", Population: 30, Think: 0.1, Priority: 0, Calls: []Call{{Target: "op", Mean: 1}}},
+			}
+		})
+	}
+	equal := mustSolve(t, build(0))
+	eg := equal.Classes["gold"].ResponseTime
+	eb := equal.Classes["bronze"].ResponseTime
+	if math.Abs(eg-eb)/eb > 0.01 {
+		t.Fatalf("equal priorities should equalise RT: %v vs %v", eg, eb)
+	}
+	prio := mustSolve(t, build(5))
+	pg := prio.Classes["gold"].ResponseTime
+	pb := prio.Classes["bronze"].ResponseTime
+	if pg >= eg {
+		t.Fatalf("priority should cut gold's RT: %v vs %v", pg, eg)
+	}
+	if pb <= eb {
+		t.Fatalf("priority should raise bronze's RT: %v vs %v", pb, eb)
+	}
+	if pg >= pb {
+		t.Fatalf("gold %v should beat bronze %v", pg, pb)
+	}
+}
+
+func TestFeatureValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Model)
+		want   string
+	}{
+		{"negative demand2", func(m *Model) { m.Tasks[0].Entries[0].Demand2 = -1 }, "second-phase"},
+		{"bad call kind", func(m *Model) {
+			m.Tasks[0].Entries[0].Calls = []Call{{Target: "write", Mean: 1, Kind: "rpc"}}
+		}, "call kind"},
+		{"negative arrival rate", func(m *Model) { m.Classes[0].ArrivalRate = -1 }, "arrival rate"},
+		{"open with population", func(m *Model) { m.Classes[0].ArrivalRate = 10 }, "also has population"},
+		{"async reference call", func(m *Model) { m.Classes[0].Calls[0].Kind = Async }, "asynchronous top-level"},
+	}
+	for _, tc := range cases {
+		m := featureModel(5, 1, tc.mutate)
+		err := m.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestExactMVARejectsFeatures(t *testing.T) {
+	cases := []func(*Model){
+		func(m *Model) { m.Tasks[0].Entries[0].Demand2 = 0.01 },
+		func(m *Model) {
+			m.Tasks[0].Entries[0].Calls = []Call{{Target: "write", Mean: 1, Kind: Async}}
+		},
+		func(m *Model) {
+			m.Classes = append(m.Classes, &Class{
+				Name: "stream", ArrivalRate: 10, Calls: []Call{{Target: "op", Mean: 1}},
+			})
+		},
+	}
+	for i, mutate := range cases {
+		m := featureModel(5, 1, mutate)
+		if _, err := Solve(m, Options{ExactMVA: true}); err == nil {
+			t.Fatalf("case %d: exact MVA should reject the feature", i)
+		}
+	}
+}
+
+func TestFeatureJSONRoundTrip(t *testing.T) {
+	m := featureModel(0, 0, func(m *Model) {
+		m.Tasks[0].Entries[0].Demand2 = 0.005
+		m.Tasks[0].Entries[0].Calls = []Call{{Target: "write", Mean: 2, Kind: Async}}
+		m.Classes = []*Class{
+			{Name: "gold", Population: 10, Think: 1, Priority: 3, Calls: []Call{{Target: "op", Mean: 1}}},
+			{Name: "stream", ArrivalRate: 25, Calls: []Call{{Target: "op", Mean: 1, Kind: Forward}}},
+		}
+	})
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustSolve(t, m)
+	b := mustSolve(t, back)
+	for name, ca := range a.Classes {
+		cb := b.Classes[name]
+		if ca.ResponseTime != cb.ResponseTime || ca.Throughput != cb.Throughput {
+			t.Fatalf("round trip changed %q: %+v vs %+v", name, ca, cb)
+		}
+	}
+}
+
+func TestMultiserverProcessorAsymptotics(t *testing.T) {
+	// A c-server processor saturates at c/D: with c=4 and D=10ms the
+	// ceiling is 400 req/s, reached under heavy closed load.
+	m := &Model{
+		Processors: []*Processor{{Name: "quad", Mult: 4, Speed: 1, Sched: PS}},
+		Tasks: []*Task{{Name: "app", Processor: "quad", Mult: 100, Entries: []*Entry{
+			{Name: "op", Demand: 0.010},
+		}}},
+		Classes: []*Class{{Name: "users", Population: 5000, Think: 1, Calls: []Call{{Target: "op", Mean: 1}}}},
+	}
+	res := mustSolve(t, m)
+	x := res.Classes["users"].Throughput
+	if math.Abs(x-400)/400 > 0.02 {
+		t.Fatalf("4-server throughput = %v, want ≈400", x)
+	}
+	if u := res.ProcessorUtil["quad"]; math.Abs(u-1) > 0.02 {
+		t.Fatalf("per-server utilisation = %v, want ≈1", u)
+	}
+	// One customer on a multiserver sees no queueing: R = D.
+	m.Classes[0].Population = 1
+	res = mustSolve(t, m)
+	if got := res.Classes["users"].ResponseTime; math.Abs(got-0.010) > 1e-9 {
+		t.Fatalf("single-customer RT = %v, want 0.010", got)
+	}
+}
+
+func TestDelayProcessorAddsNoQueueing(t *testing.T) {
+	// A Delay resource (infinite servers) contributes its demand and
+	// nothing else, at any load.
+	m := &Model{
+		Processors: []*Processor{
+			{Name: "cpu", Mult: 1, Speed: 1, Sched: PS},
+			{Name: "net", Mult: 1, Speed: 1, Sched: Delay},
+		},
+		Tasks: []*Task{
+			{Name: "app", Processor: "cpu", Mult: 50, Entries: []*Entry{
+				{Name: "op", Demand: 0.002, Calls: []Call{{Target: "xfer", Mean: 1}}},
+			}},
+			{Name: "wire", Processor: "net", Mult: 50, Entries: []*Entry{
+				{Name: "xfer", Demand: 0.050},
+			}},
+		},
+		Classes: []*Class{{Name: "users", Population: 300, Think: 1, Calls: []Call{{Target: "op", Mean: 1}}}},
+	}
+	res := mustSolve(t, m)
+	// cpu is the only queueing resource: ceiling 1/0.002 = 500/s; at
+	// N=300, X = 300/(1 + R) stays below it, and R >= 0.052 always.
+	r := res.Classes["users"].ResponseTime
+	if r < 0.052 {
+		t.Fatalf("RT %v below the demand floor", r)
+	}
+	// The delay resource shows no utilisation-driven queueing: doubling
+	// its demand shifts RT by exactly the demand increase at light load.
+	m.Tasks[1].Entries[0].Demand = 0.100
+	m.Classes[0].Population = 1
+	res2 := mustSolve(t, m)
+	want := 0.002 + 0.100
+	if got := res2.Classes["users"].ResponseTime; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("light-load RT = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,143 @@
+package lqn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON document format mirrors the Model types directly, giving
+// cmd/lqnsolve a declarative input language in the spirit of the LQNS
+// model files:
+//
+//	{
+//	  "processors": [{"name": "appcpu", "mult": 1, "speed": 1.0, "sched": "ps"}],
+//	  "tasks": [{"name": "app", "processor": "appcpu", "mult": 50,
+//	             "entries": [{"name": "browse", "demand": 0.0054,
+//	                          "calls": [{"target": "db_browse", "mean": 1.14}]}]}],
+//	  "classes": [{"name": "browse", "population": 500, "think": 7,
+//	               "calls": [{"target": "browse", "mean": 1}]}]
+//	}
+
+type jsonModel struct {
+	Processors []jsonProcessor `json:"processors"`
+	Tasks      []jsonTask      `json:"tasks"`
+	Classes    []jsonClass     `json:"classes"`
+}
+
+type jsonProcessor struct {
+	Name  string  `json:"name"`
+	Mult  int     `json:"mult"`
+	Speed float64 `json:"speed"`
+	Sched string  `json:"sched"`
+}
+
+type jsonTask struct {
+	Name      string      `json:"name"`
+	Processor string      `json:"processor"`
+	Mult      int         `json:"mult"`
+	Entries   []jsonEntry `json:"entries"`
+}
+
+type jsonEntry struct {
+	Name    string     `json:"name"`
+	Demand  float64    `json:"demand"`
+	Demand2 float64    `json:"demand2,omitempty"`
+	Calls   []jsonCall `json:"calls,omitempty"`
+}
+
+type jsonCall struct {
+	Target string  `json:"target"`
+	Mean   float64 `json:"mean"`
+	Kind   string  `json:"kind,omitempty"`
+}
+
+type jsonClass struct {
+	Name        string     `json:"name"`
+	Population  int        `json:"population,omitempty"`
+	Think       float64    `json:"think,omitempty"`
+	ArrivalRate float64    `json:"arrivalRate,omitempty"`
+	Priority    int        `json:"priority,omitempty"`
+	Calls       []jsonCall `json:"calls"`
+}
+
+// ReadModel parses and validates a JSON model document.
+func ReadModel(r io.Reader) (*Model, error) {
+	var jm jsonModel
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jm); err != nil {
+		return nil, fmt.Errorf("lqn: parsing model: %w", err)
+	}
+	m := &Model{}
+	for _, p := range jm.Processors {
+		m.Processors = append(m.Processors, &Processor{
+			Name: p.Name, Mult: p.Mult, Speed: p.Speed, Sched: Scheduling(p.Sched),
+		})
+	}
+	for _, t := range jm.Tasks {
+		task := &Task{Name: t.Name, Processor: t.Processor, Mult: t.Mult}
+		for _, e := range t.Entries {
+			entry := &Entry{Name: e.Name, Demand: e.Demand, Demand2: e.Demand2}
+			for _, c := range e.Calls {
+				entry.Calls = append(entry.Calls, Call{Target: c.Target, Mean: c.Mean, Kind: CallKind(c.Kind)})
+			}
+			task.Entries = append(task.Entries, entry)
+		}
+		m.Tasks = append(m.Tasks, task)
+	}
+	for _, cl := range jm.Classes {
+		class := &Class{
+			Name:        cl.Name,
+			Population:  cl.Population,
+			Think:       cl.Think,
+			ArrivalRate: cl.ArrivalRate,
+			Priority:    cl.Priority,
+		}
+		for _, c := range cl.Calls {
+			class.Calls = append(class.Calls, Call{Target: c.Target, Mean: c.Mean, Kind: CallKind(c.Kind)})
+		}
+		m.Classes = append(m.Classes, class)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteModel serialises a model as indented JSON.
+func WriteModel(w io.Writer, m *Model) error {
+	jm := jsonModel{}
+	for _, p := range m.Processors {
+		jm.Processors = append(jm.Processors, jsonProcessor{
+			Name: p.Name, Mult: p.Mult, Speed: p.Speed, Sched: string(p.Sched),
+		})
+	}
+	for _, t := range m.Tasks {
+		jt := jsonTask{Name: t.Name, Processor: t.Processor, Mult: t.Mult}
+		for _, e := range t.Entries {
+			je := jsonEntry{Name: e.Name, Demand: e.Demand, Demand2: e.Demand2}
+			for _, c := range e.Calls {
+				je.Calls = append(je.Calls, jsonCall{Target: c.Target, Mean: c.Mean, Kind: string(c.Kind)})
+			}
+			jt.Entries = append(jt.Entries, je)
+		}
+		jm.Tasks = append(jm.Tasks, jt)
+	}
+	for _, cl := range m.Classes {
+		jc := jsonClass{
+			Name:        cl.Name,
+			Population:  cl.Population,
+			Think:       cl.Think,
+			ArrivalRate: cl.ArrivalRate,
+			Priority:    cl.Priority,
+		}
+		for _, c := range cl.Calls {
+			jc.Calls = append(jc.Calls, jsonCall{Target: c.Target, Mean: c.Mean, Kind: string(c.Kind)})
+		}
+		jm.Classes = append(jm.Classes, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jm)
+}

@@ -1,0 +1,79 @@
+package lqn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"perfpred/internal/workload"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	m, err := NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), workload.CaseStudyDemands(), workload.MixedWorkload(400, 0.10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solving both gives identical predictions.
+	a, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(back, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ca := range a.Classes {
+		cb, ok := b.Classes[name]
+		if !ok {
+			t.Fatalf("round-trip lost class %q", name)
+		}
+		if ca.ResponseTime != cb.ResponseTime || ca.Throughput != cb.Throughput {
+			t.Fatalf("round-trip changed predictions for %q: %+v vs %+v", name, ca, cb)
+		}
+	}
+}
+
+func TestReadModelRejectsGarbage(t *testing.T) {
+	if _, err := ReadModel(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := ReadModel(strings.NewReader(`{"bogus": true}`)); err == nil {
+		t.Fatal("expected unknown-field error")
+	}
+	// Valid JSON, invalid model.
+	doc := `{"processors":[{"name":"p","mult":1,"speed":1,"sched":"ps"}],
+	         "tasks":[{"name":"t","processor":"p","mult":1,
+	                   "entries":[{"name":"e","demand":0.1}]}],
+	         "classes":[{"name":"c","population":1,"think":0,
+	                     "calls":[{"target":"missing","mean":1}]}]}`
+	if _, err := ReadModel(strings.NewReader(doc)); err == nil {
+		t.Fatal("expected validation error for unknown call target")
+	}
+}
+
+func TestReadModelMinimalDocument(t *testing.T) {
+	doc := `{"processors":[{"name":"cpu","mult":1,"speed":1,"sched":"ps"}],
+	         "tasks":[{"name":"app","processor":"cpu","mult":5,
+	                   "entries":[{"name":"op","demand":0.02}]}],
+	         "classes":[{"name":"users","population":10,"think":1,
+	                     "calls":[{"target":"op","mean":1}]}]}`
+	m, err := ReadModel(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes["users"].Throughput <= 0 {
+		t.Fatal("solved model has zero throughput")
+	}
+}

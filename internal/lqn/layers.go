@@ -1,0 +1,389 @@
+package lqn
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// This file adds task-layer contention: the method-of-layers style
+// solution in which software servers (task thread pools) queue
+// independently of the hardware they run on. The default solver
+// flattens the model onto processors, which is accurate while thread
+// pools are generous (the case study's 50/20); when a task's
+// multiplicity is small relative to the offered concurrency — and
+// especially when its entries spend most of their time blocked on
+// lower layers rather than computing — the thread pool itself becomes
+// the queue, and only a layered solution sees it.
+//
+// The implementation alternates between two views until fixed point:
+//
+//   - software contention: for each class, a closed network whose
+//     stations are the tasks the class's top-level calls reach
+//     directly, each a multiserver with service time equal to its
+//     entries' elapsed time (processor-inflated own demand plus the
+//     full response of nested calls, including waits at lower tasks);
+//
+//   - lower-layer waits: each called task is itself a multiserver
+//     station whose customers are its callers' busy threads, giving a
+//     per-visit queueing wait that inflates the callers' elapsed
+//     times;
+//
+//   - hardware contention: processor utilisation from every entry
+//     inflates per-invocation service via the shadow-server factor
+//     1/(1−ρ_other).
+//
+// Layered solving supports closed classes and synchronous calls;
+// open classes, priorities, async and forwarding fall back with an
+// error so callers are not silently mis-solved.
+
+// layeredApplicable rejects model features outside the layered
+// solver's scope.
+func layeredApplicable(m *Model, r *resolved) error {
+	for _, cl := range m.Classes {
+		if cl.Open() {
+			return errors.New("lqn: layered solving does not support open classes")
+		}
+		if cl.Priority != 0 {
+			return errors.New("lqn: layered solving does not support priorities")
+		}
+		for _, c := range cl.Calls {
+			if c.kind() != Sync {
+				return errors.New("lqn: layered solving supports synchronous reference calls only")
+			}
+		}
+	}
+	for _, t := range m.Tasks {
+		for _, e := range t.Entries {
+			if e.Demand2 != 0 {
+				return errors.New("lqn: layered solving does not support second phases")
+			}
+			for _, c := range e.Calls {
+				if c.kind() != Sync {
+					return errors.New("lqn: layered solving supports synchronous calls only")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// solveLayered runs the layered fixed point and fills a Result.
+func solveLayered(m *Model, r *resolved, opt Options) (*Result, error) {
+	if err := layeredApplicable(m, r); err != nil {
+		return nil, err
+	}
+	convergence := opt.Convergence
+	if convergence <= 0 {
+		convergence = 1e-6
+	}
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+
+	K := len(m.Classes)
+	// Entry bookkeeping in deterministic order.
+	entryNames := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		entryNames = append(entryNames, name)
+	}
+	sort.Strings(entryNames)
+
+	// Per-class visit ratios (sync-only: resp == util).
+	visits := make([]map[string]float64, K)
+	for k, cl := range m.Classes {
+		visits[k] = visitRatios(r, cl).resp
+	}
+
+	// topTasks[k]: the set of tasks the class calls directly, with the
+	// per-request visit count.
+	topTasks := make([][]topCall, K)
+	for k, cl := range m.Classes {
+		agg := map[*Task]float64{}
+		for _, c := range cl.Calls {
+			agg[r.entryTask[c.Target]] += c.Mean
+		}
+		tasks := make([]*Task, 0, len(agg))
+		for t := range agg {
+			tasks = append(tasks, t)
+		}
+		sort.Slice(tasks, func(i, j int) bool { return tasks[i].Name < tasks[j].Name })
+		for _, t := range tasks {
+			topTasks[k] = append(topTasks[k], topCall{task: t, visits: agg[t]})
+		}
+	}
+
+	// State.
+	X := make([]float64, K)                // class throughputs
+	waitTask := make(map[string][]float64) // task -> per-class per-visit wait
+	qTask := make(map[string][]float64)    // task -> per-class mean jobs present
+	for _, t := range m.Tasks {
+		waitTask[t.Name] = make([]float64, K)
+		qTask[t.Name] = make([]float64, K)
+	}
+	procQ := make(map[string]float64)    // processor -> mean jobs present
+	procUtil := make(map[string]float64) // processor -> utilisation (reporting)
+	var totalPop int
+	for _, cl := range m.Classes {
+		totalPop += cl.Population
+	}
+
+	// elapsed computes entry elapsed times per class given current
+	// waits and processor inflation, bottom-up over the acyclic graph.
+	elapsed := func(k int) map[string]float64 {
+		out := make(map[string]float64, len(entryNames))
+		var walk func(name string) float64
+		walk = func(name string) float64 {
+			if v, ok := out[name]; ok {
+				return v
+			}
+			e := r.entries[name]
+			task := r.entryTask[name]
+			proc := r.processors[task.Processor]
+			base := e.Demand / proc.Speed
+			var v float64
+			if proc.Sched == Delay {
+				v = base
+			} else {
+				// MVA-style processor response: the invocation waits
+				// behind the jobs already present (Schweitzer
+				// correction for its own contribution), with the
+				// Seidmann split for multiservers.
+				c := float64(proc.Mult)
+				arr := procQ[proc.Name]
+				if totalPop > 0 {
+					arr *= float64(totalPop-1) / float64(totalPop)
+				}
+				v = base/c*(1+arr) + base*(c-1)/c
+			}
+			for _, c := range e.Calls {
+				target := r.entryTask[c.Target]
+				v += c.Mean * (waitTask[target.Name][k] + walk(c.Target))
+			}
+			out[name] = v
+			return v
+		}
+		for _, name := range entryNames {
+			walk(name)
+		}
+		return out
+	}
+
+	// taskService computes a task's mean service time per class visit:
+	// the visit-weighted elapsed time of its entries as invoked by the
+	// class.
+	taskService := func(t *Task, k int, el map[string]float64) float64 {
+		var num, den float64
+		for _, e := range t.Entries {
+			v := visits[k][e.Name]
+			num += v * el[e.Name]
+			den += v
+		}
+		if den == 0 {
+			return 0
+		}
+		return num / den
+	}
+
+	R := make([]float64, K)
+	prevR := make([]float64, K)
+	converged := false
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		// Per-class elapsed times under current waits/utilisations.
+		els := make([]map[string]float64, K)
+		for k := range m.Classes {
+			els[k] = elapsed(k)
+		}
+
+		// Software submodel per class: stations are the directly-called
+		// tasks (multiserver via Seidmann), think as given. Single-class
+		// exact-style Schweitzer sweep per class with others' loads
+		// reflected through busy-thread occupancy.
+		for k, cl := range m.Classes {
+			if cl.Population == 0 {
+				X[k], R[k] = 0, 0
+				continue
+			}
+			var rTotal float64
+			type visitResp struct {
+				task   *Task
+				visits float64
+				rVisit float64
+			}
+			var resps []visitResp
+			for _, tc := range topTasks[k] {
+				st := taskService(tc.task, k, els[k])
+				if st <= 0 {
+					continue
+				}
+				c := float64(tc.task.Mult)
+				// Customers seen at the task: every class's jobs
+				// present (queued + in service), with the Schweitzer
+				// correction for the arriving job's own class.
+				arriving := 0.0
+				for j := 0; j < K; j++ {
+					q := qTask[tc.task.Name][j]
+					if j == k {
+						q *= math.Max(0, float64(cl.Population-1)) / float64(cl.Population)
+					}
+					arriving += q
+				}
+				// Seidmann multiserver: queueing portion st/c sees the
+				// arriving jobs; the rest is residual delay.
+				rVisit := st/c*(1+arriving) + st*(c-1)/c
+				waitTask[tc.task.Name][k] = rVisit - st
+				if waitTask[tc.task.Name][k] < 0 {
+					waitTask[tc.task.Name][k] = 0
+				}
+				rTotal += tc.visits * rVisit
+				resps = append(resps, visitResp{task: tc.task, visits: tc.visits, rVisit: rVisit})
+			}
+			R[k] = rTotal
+			X[k] = float64(cl.Population) / (cl.Think + rTotal)
+			// Little's law per station: jobs present = X × visit response.
+			for _, vr := range resps {
+				qTask[vr.task.Name][k] = X[k] * vr.visits * vr.rVisit
+			}
+		}
+
+		// Lower-layer waits: tasks called by other tasks queue their
+		// callers' threads. Per-visit wait from the multiserver
+		// approximation with throughput-derived occupancy.
+		for _, t := range m.Tasks {
+			for k := range m.Classes {
+				if isTop(topTasks[k], t) {
+					continue // handled in the software submodel
+				}
+				// Total visits to t's entries for class k.
+				var vTot, sAvg float64
+				for _, e := range t.Entries {
+					vTot += visits[k][e.Name]
+				}
+				if vTot == 0 {
+					waitTask[t.Name][k] = 0
+					continue
+				}
+				sAvg = taskService(t, k, els[k])
+				// Occupancy from all classes.
+				occ := 0.0
+				for j := 0; j < K; j++ {
+					var vj float64
+					for _, e := range t.Entries {
+						vj += visits[j][e.Name]
+					}
+					occ += X[j] * vj * taskService(t, j, els[j])
+				}
+				c := float64(t.Mult)
+				rho := occ / c
+				if rho > utilCap {
+					rho = utilCap
+				}
+				// Wait per visit: Erlang-C-flavoured approximation
+				// rho^c/(1-rho) × service/c.
+				waitTask[t.Name][k] = sAvg / c * math.Pow(rho, c) / (1 - rho)
+			}
+		}
+
+		// Hardware state for the next round: utilisation (reporting)
+		// and mean jobs present (Little's law over the per-invocation
+		// processor responses just used).
+		for name := range r.processors {
+			procUtil[name] = 0
+		}
+		newQ := make(map[string]float64, len(r.processors))
+		for k := range m.Classes {
+			el := els[k]
+			_ = el
+			for _, name := range entryNames {
+				e := r.entries[name]
+				task := r.entryTask[name]
+				proc := r.processors[task.Processor]
+				if proc.Sched == Delay {
+					continue
+				}
+				procUtil[proc.Name] += X[k] * visits[k][name] * e.Demand / proc.Speed / float64(proc.Mult)
+				c := float64(proc.Mult)
+				base := e.Demand / proc.Speed
+				arr := procQ[proc.Name]
+				if totalPop > 0 {
+					arr *= float64(totalPop-1) / float64(totalPop)
+				}
+				resp := base/c*(1+arr) + base*(c-1)/c
+				newQ[proc.Name] += X[k] * visits[k][name] * resp
+			}
+		}
+		for name, u := range procUtil {
+			if u > utilCap {
+				procUtil[name] = utilCap
+			}
+		}
+		// Damped queue update keeps the fixed point stable.
+		for name := range r.processors {
+			procQ[name] = 0.5*procQ[name] + 0.5*newQ[name]
+		}
+
+		maxDR := 0.0
+		for k := 0; k < K; k++ {
+			if d := math.Abs(R[k] - prevR[k]); d > maxDR {
+				maxDR = d
+			}
+			// Damped update for stability.
+			prevR[k] = R[k]
+		}
+		if maxDR < convergence {
+			converged = true
+			iter++
+			break
+		}
+	}
+
+	res := &Result{
+		Classes:            make(map[string]ClassResult, K),
+		ProcessorUtil:      make(map[string]float64, len(r.processors)),
+		ClassProcessorUtil: make(map[string]map[string]float64, len(r.processors)),
+		Iterations:         iter,
+		Converged:          converged,
+	}
+	for k, cl := range m.Classes {
+		res.Classes[cl.Name] = ClassResult{ResponseTime: R[k], Throughput: X[k]}
+	}
+	for name, p := range r.processors {
+		var total float64
+		per := make(map[string]float64, K)
+		for k, cl := range m.Classes {
+			var u float64
+			for _, ename := range entryNames {
+				if r.entryTask[ename].Processor != name {
+					continue
+				}
+				u += X[k] * visits[k][ename] * r.entries[ename].Demand / p.Speed / float64(p.Mult)
+			}
+			per[cl.Name] = u
+			total += u
+		}
+		res.ProcessorUtil[name] = total
+		res.ClassProcessorUtil[name] = per
+	}
+	return res, nil
+}
+
+// topCall is one directly-called task of a reference class.
+type topCall struct {
+	task   *Task
+	visits float64
+}
+
+func topVisits(tops []topCall, t *Task) float64 {
+	for _, tc := range tops {
+		if tc.task == t {
+			return tc.visits
+		}
+	}
+	return 0
+}
+
+func isTop(tops []topCall, t *Task) bool {
+	return topVisits(tops, t) > 0
+}

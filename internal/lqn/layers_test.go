@@ -1,0 +1,168 @@
+package lqn
+
+import (
+	"math"
+	"testing"
+
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
+)
+
+// smallPoolArch is AppServF with its servlet pool shrunk to 5 threads:
+// the §2 MPL becomes the binding constraint for DB-heavy work.
+func smallPoolArch() workload.ServerArch {
+	a := workload.AppServF()
+	a.MPL = 5
+	return a
+}
+
+// dbHeavyDemands makes requests spend most of their time blocked on
+// database latency (disk/network) rather than computing: little CPU
+// anywhere, 4 calls × 50 ms of pure per-call latency. With a 5-thread
+// pool the threads are all blocked while every CPU idles — the
+// scenario only a layered solution models.
+func dbHeavyDemands() map[workload.RequestType]workload.Demand {
+	return map[workload.RequestType]workload.Demand{
+		workload.Browse: {
+			AppServerTime:     0.002,
+			DBTimePerCall:     0.001,
+			DBCallsPerRequest: 4,
+			DBLatencyPerCall:  0.050,
+		},
+	}
+}
+
+func TestLayeredSolveBasics(t *testing.T) {
+	// With generous pools and one customer, layered and flattened agree
+	// on the no-contention response time.
+	m, err := NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), workload.CaseStudyDemands(), workload.TypicalWorkload(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layered, err := Solve(m, Options{TaskLayering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := flat.Classes["browse"].ResponseTime
+	l := layered.Classes["browse"].ResponseTime
+	if math.Abs(f-l)/f > 0.05 {
+		t.Fatalf("single-customer RT: layered %v vs flattened %v", l, f)
+	}
+	if !layered.Converged {
+		t.Fatal("layered solve did not converge")
+	}
+}
+
+func TestLayeredRejectsUnsupportedFeatures(t *testing.T) {
+	mutations := []func(*Model){
+		func(m *Model) {
+			m.Classes = append(m.Classes, &Class{Name: "open", ArrivalRate: 5, Calls: []Call{{Target: "op", Mean: 1}}})
+		},
+		func(m *Model) { m.Classes[0].Priority = 2 },
+		func(m *Model) { m.Tasks[0].Entries[0].Demand2 = 0.01 },
+		func(m *Model) {
+			m.Tasks[0].Entries[0].Calls = []Call{{Target: "write", Mean: 1, Kind: Async}}
+		},
+	}
+	for i, mutate := range mutations {
+		m := featureModel(10, 1, mutate)
+		if _, err := Solve(m, Options{TaskLayering: true}); err == nil {
+			t.Fatalf("mutation %d: layered solve should reject the feature", i)
+		}
+	}
+}
+
+// TestLayeredSeesThreadPoolBottleneck is the motivating scenario: a
+// 5-thread pool gating DB-heavy requests from 120 clients. The thread
+// pool saturates (all threads blocked on the DB while the CPU idles);
+// the flattened solver, which only models processors, misses most of
+// the queueing.
+func TestLayeredSeesThreadPoolBottleneck(t *testing.T) {
+	arch := smallPoolArch()
+	demands := dbHeavyDemands()
+	load := workload.Workload{{
+		Class: workload.ServiceClass{
+			Name:          "browse",
+			Mix:           workload.Mix{workload.Browse: 1},
+			ThinkTimeMean: 1.0,
+		},
+		Clients: 120,
+	}}
+
+	cfg := trade.Config{
+		Server:   arch,
+		DB:       workload.CaseStudyDB(),
+		Demands:  demands,
+		Load:     load,
+		Seed:     53,
+		WarmUp:   40,
+		Duration: 160,
+	}
+	meas, err := trade.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	model, err := NewTradeModel(arch, workload.CaseStudyDB(), demands, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Solve(model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layered, err := Solve(model, Options{TaskLayering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mRT := meas.MeanRT
+	fRT := flat.Classes["browse"].ResponseTime
+	lRT := layered.Classes["browse"].ResponseTime
+
+	// The flattened model misses the thread-pool queue badly.
+	if fRT > 0.5*mRT {
+		t.Fatalf("flattened RT %v unexpectedly close to measured %v — scenario not discriminating", fRT, mRT)
+	}
+	// The layered model lands in the right regime.
+	if lRT < 0.5*mRT || lRT > 2.0*mRT {
+		t.Fatalf("layered RT %v outside [0.5,2.0]× measured %v (flattened %v)", lRT, mRT, fRT)
+	}
+	// And its throughput tracks the measured pool-limited ceiling.
+	lX := layered.Classes["browse"].Throughput
+	if math.Abs(lX-meas.Throughput)/meas.Throughput > 0.20 {
+		t.Fatalf("layered X %v vs measured %v", lX, meas.Throughput)
+	}
+	t.Logf("measured RT %.1fms, layered %.1fms, flattened %.1fms (X: meas %.1f, layered %.1f)",
+		mRT*1000, lRT*1000, fRT*1000, meas.Throughput, lX)
+}
+
+// TestLayeredMatchesFlattenedOnCaseStudy: with the case study's
+// generous pools (50/20), the layered solution should stay in the same
+// regime as the flattened one across loads — the pools are not the
+// bottleneck there.
+func TestLayeredMatchesFlattenedOnCaseStudy(t *testing.T) {
+	for _, n := range []int{200, 800, 2000} {
+		m, err := NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), workload.CaseStudyDemands(), workload.TypicalWorkload(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, err := Solve(m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		layered, err := Solve(m, Options{TaskLayering: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := flat.Classes["browse"].Throughput
+		l := layered.Classes["browse"].Throughput
+		if math.Abs(f-l)/f > 0.15 {
+			t.Fatalf("n=%d: layered X %v vs flattened %v", n, l, f)
+		}
+	}
+}

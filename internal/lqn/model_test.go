@@ -1,0 +1,192 @@
+package lqn
+
+import (
+	"strings"
+	"testing"
+
+	"perfpred/internal/workload"
+)
+
+// tinyModel builds a minimal valid single-class model for mutation in
+// validation tests.
+func tinyModel() *Model {
+	return &Model{
+		Processors: []*Processor{
+			{Name: "cpu", Mult: 1, Speed: 1, Sched: PS},
+		},
+		Tasks: []*Task{
+			{Name: "app", Processor: "cpu", Mult: 10, Entries: []*Entry{
+				{Name: "op", Demand: 0.01},
+			}},
+		},
+		Classes: []*Class{
+			{Name: "users", Population: 5, Think: 1, Calls: []Call{{Target: "op", Mean: 1}}},
+		},
+	}
+}
+
+func TestModelValidateOK(t *testing.T) {
+	if err := tinyModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Model)
+		want   string
+	}{
+		{"empty model", func(m *Model) { m.Processors = nil }, "needs processors"},
+		{"unnamed processor", func(m *Model) { m.Processors[0].Name = "" }, "needs a name"},
+		{"bad processor mult", func(m *Model) { m.Processors[0].Mult = 0 }, "positive multiplicity"},
+		{"bad processor speed", func(m *Model) { m.Processors[0].Speed = 0 }, "positive speed"},
+		{"bad sched", func(m *Model) { m.Processors[0].Sched = "lifo" }, "unknown scheduling"},
+		{"unknown processor ref", func(m *Model) { m.Tasks[0].Processor = "gpu" }, "unknown processor"},
+		{"bad task mult", func(m *Model) { m.Tasks[0].Mult = 0 }, "positive multiplicity"},
+		{"no entries", func(m *Model) { m.Tasks[0].Entries = nil }, "no entries"},
+		{"negative demand", func(m *Model) { m.Tasks[0].Entries[0].Demand = -1 }, "negative demand"},
+		{"unknown call target", func(m *Model) {
+			m.Tasks[0].Entries[0].Calls = []Call{{Target: "nope", Mean: 1}}
+		}, "unknown entry"},
+		{"negative call mean", func(m *Model) {
+			m.Tasks[0].Entries = append(m.Tasks[0].Entries, &Entry{Name: "op2", Demand: 0.01})
+			m.Tasks[0].Entries[0].Calls = []Call{{Target: "op2", Mean: -1}}
+		}, "negative call mean"},
+		{"class no calls", func(m *Model) { m.Classes[0].Calls = nil }, "makes no calls"},
+		{"class unknown target", func(m *Model) { m.Classes[0].Calls[0].Target = "nope" }, "unknown entry"},
+		{"negative population", func(m *Model) { m.Classes[0].Population = -1 }, "negative population"},
+		{"negative think", func(m *Model) { m.Classes[0].Think = -1 }, "negative think"},
+		{"duplicate class", func(m *Model) { m.Classes = append(m.Classes, m.Classes[0]) }, "duplicate class"},
+		{"duplicate entry", func(m *Model) {
+			m.Tasks[0].Entries = append(m.Tasks[0].Entries, &Entry{Name: "op", Demand: 0.01})
+		}, "duplicate entry"},
+	}
+	for _, tc := range cases {
+		m := tinyModel()
+		tc.mutate(m)
+		err := m.Validate()
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestModelRejectsCallCycle(t *testing.T) {
+	m := tinyModel()
+	m.Tasks[0].Entries = append(m.Tasks[0].Entries, &Entry{
+		Name: "op2", Demand: 0.01, Calls: []Call{{Target: "op", Mean: 1}},
+	})
+	m.Tasks[0].Entries[0].Calls = []Call{{Target: "op2", Mean: 1}}
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+}
+
+func TestVisitRatiosChain(t *testing.T) {
+	// users -> a (2x) -> b (3x per a) => visits: a=2, b=6.
+	m := &Model{
+		Processors: []*Processor{{Name: "cpu", Mult: 1, Speed: 1, Sched: PS}},
+		Tasks: []*Task{
+			{Name: "t1", Processor: "cpu", Mult: 1, Entries: []*Entry{
+				{Name: "a", Demand: 0.1, Calls: []Call{{Target: "b", Mean: 3}}},
+			}},
+			{Name: "t2", Processor: "cpu", Mult: 1, Entries: []*Entry{
+				{Name: "b", Demand: 0.2},
+			}},
+		},
+		Classes: []*Class{
+			{Name: "users", Population: 1, Think: 0, Calls: []Call{{Target: "a", Mean: 2}}},
+		},
+	}
+	r, err := m.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := visitRatios(r, m.Classes[0])
+	if v.resp["a"] != 2 || v.resp["b"] != 6 {
+		t.Fatalf("visits = %v, want a=2 b=6", v.resp)
+	}
+	if v.util["a"] != 2 || v.util["b"] != 6 {
+		t.Fatalf("util visits = %v, want a=2 b=6", v.util)
+	}
+	d := processorDemands(r, v)
+	want := 2*0.1 + 6*0.2
+	if diff := d.resp["cpu"] - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("cpu demand = %v, want %v", d.resp["cpu"], want)
+	}
+	if diff := d.util["cpu"] - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("cpu util demand = %v, want %v", d.util["cpu"], want)
+	}
+}
+
+func TestVisitRatiosDiamond(t *testing.T) {
+	// a calls b and c; b and c both call d: visits multiply and sum.
+	m := &Model{
+		Processors: []*Processor{{Name: "cpu", Mult: 1, Speed: 1, Sched: PS}},
+		Tasks: []*Task{
+			{Name: "t", Processor: "cpu", Mult: 1, Entries: []*Entry{
+				{Name: "a", Demand: 0, Calls: []Call{{Target: "b", Mean: 1}, {Target: "c", Mean: 2}}},
+			}},
+			{Name: "u", Processor: "cpu", Mult: 1, Entries: []*Entry{
+				{Name: "b", Demand: 0, Calls: []Call{{Target: "d", Mean: 4}}},
+				{Name: "c", Demand: 0, Calls: []Call{{Target: "d", Mean: 5}}},
+			}},
+			{Name: "v", Processor: "cpu", Mult: 1, Entries: []*Entry{{Name: "d", Demand: 0}}},
+		},
+		Classes: []*Class{
+			{Name: "users", Population: 1, Think: 0, Calls: []Call{{Target: "a", Mean: 1}}},
+		},
+	}
+	r, err := m.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := visitRatios(r, m.Classes[0])
+	// d = 1*4 + 2*5 = 14.
+	if v.resp["d"] != 14 {
+		t.Fatalf("visits[d] = %v, want 14", v.resp["d"])
+	}
+}
+
+func TestNewTradeModelStructure(t *testing.T) {
+	m, err := NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), workload.CaseStudyDemands(), workload.MixedWorkload(100, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Processors) != 2 || len(m.Tasks) != 2 || len(m.Classes) != 2 {
+		t.Fatalf("unexpected model shape: %d procs %d tasks %d classes",
+			len(m.Processors), len(m.Tasks), len(m.Classes))
+	}
+	// Thread multiplicities carry the case-study MPLs.
+	for _, task := range m.Tasks {
+		switch task.Name {
+		case "appserver":
+			if task.Mult != workload.AppServerMPL {
+				t.Fatalf("app task mult = %d", task.Mult)
+			}
+		case "dbserver":
+			if task.Mult != workload.DBServerMPL {
+				t.Fatalf("db task mult = %d", task.Mult)
+			}
+		}
+	}
+}
+
+func TestNewTradeModelRejectsBadInput(t *testing.T) {
+	bad := workload.AppServF()
+	bad.Speed = 0
+	if _, err := NewTradeModel(bad, workload.CaseStudyDB(), workload.CaseStudyDemands(), workload.TypicalWorkload(10)); err == nil {
+		t.Fatal("expected error for invalid server")
+	}
+	if _, err := NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), workload.CaseStudyDemands(), workload.Workload{{Class: workload.BrowseClass(0), Clients: -1}}); err == nil {
+		t.Fatal("expected error for invalid workload")
+	}
+}

@@ -1,0 +1,90 @@
+package lqn
+
+import (
+	"testing"
+
+	"perfpred/internal/workload"
+)
+
+func TestMaxClientsSearchBoundary(t *testing.T) {
+	m, err := NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), workload.CaseStudyDemands(), workload.TypicalWorkload(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goal = 0.3 // 300 ms, one of the §9.1 SLA goals
+	n, evals, err := MaxClientsSearch(m, "browse", goal, 100000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("max clients = %d, want positive", n)
+	}
+	if evals < 2 {
+		t.Fatalf("evaluations = %d; search must cost multiple solver runs (§8.5)", evals)
+	}
+	// Verify the boundary: n feasible, n+1 infeasible.
+	check := func(pop int) float64 {
+		m.Classes[0].Population = pop
+		res, err := Solve(m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Classes["browse"].ResponseTime
+	}
+	if rt := check(n); rt > goal {
+		t.Fatalf("RT at found max %d is %v > goal", n, rt)
+	}
+	if rt := check(n + 1); rt <= goal {
+		t.Fatalf("RT at %d is %v, still under goal — search stopped early", n+1, rt)
+	}
+}
+
+func TestMaxClientsSearchImpossibleGoal(t *testing.T) {
+	m, err := NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), workload.CaseStudyDemands(), workload.TypicalWorkload(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Goal below the light-load response time: even one client misses.
+	n, _, err := MaxClientsSearch(m, "browse", 0.0001, 1000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("max clients = %d, want 0 for impossible goal", n)
+	}
+}
+
+func TestMaxClientsSearchRestoresPopulation(t *testing.T) {
+	m, err := NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), workload.CaseStudyDemands(), workload.TypicalWorkload(123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MaxClientsSearch(m, "browse", 0.3, 10000, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Classes[0].Population != 123 {
+		t.Fatalf("search mutated the model population to %d", m.Classes[0].Population)
+	}
+}
+
+func TestMaxClientsSearchErrors(t *testing.T) {
+	m, _ := NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), workload.CaseStudyDemands(), workload.TypicalWorkload(1))
+	if _, _, err := MaxClientsSearch(m, "browse", 0, 0, Options{}); err == nil {
+		t.Fatal("expected error for non-positive goal")
+	}
+	if _, _, err := MaxClientsSearch(m, "ghost", 0.3, 0, Options{}); err == nil {
+		t.Fatal("expected error for unknown class")
+	}
+}
+
+func TestMaxClientsSearchRespectsLimit(t *testing.T) {
+	m, _ := NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), workload.CaseStudyDemands(), workload.TypicalWorkload(1))
+	// A huge goal makes every population feasible; the limit caps it.
+	n, _, err := MaxClientsSearch(m, "browse", 1e9, 500, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 500 {
+		t.Fatalf("max clients = %d exceeds limit 500", n)
+	}
+}

@@ -1,0 +1,200 @@
+package lqn
+
+import (
+	"math"
+	"testing"
+
+	"perfpred/internal/workload"
+)
+
+func solveTiny(t *testing.T, pop int, think float64, opt Options) *Result {
+	t.Helper()
+	m := tinyModel()
+	m.Classes[0].Population = pop
+	m.Classes[0].Think = think
+	res, err := Solve(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSolveSingleCustomerExact(t *testing.T) {
+	// One customer, no contention: R = D, X = 1/(Z+D).
+	res := solveTiny(t, 1, 1, Options{})
+	cr := res.Classes["users"]
+	if math.Abs(cr.ResponseTime-0.01) > 1e-9 {
+		t.Fatalf("R = %v, want 0.01", cr.ResponseTime)
+	}
+	want := 1.0 / 1.01
+	if math.Abs(cr.Throughput-want) > 1e-6 {
+		t.Fatalf("X = %v, want %v", cr.Throughput, want)
+	}
+	if !res.Converged {
+		t.Fatal("solver did not converge")
+	}
+}
+
+func TestSolveZeroPopulation(t *testing.T) {
+	res := solveTiny(t, 0, 1, Options{})
+	cr := res.Classes["users"]
+	if cr.Throughput != 0 || cr.ResponseTime != 0 {
+		t.Fatalf("zero population should predict zeros, got %+v", cr)
+	}
+}
+
+func TestSolveSaturationAsymptotics(t *testing.T) {
+	// As N grows, X -> 1/Dmax and R -> N*Dmax - Z.
+	const D, Z = 0.01, 1.0
+	res := solveTiny(t, 2000, Z, Options{})
+	cr := res.Classes["users"]
+	if math.Abs(cr.Throughput-1/D)/(1/D) > 0.01 {
+		t.Fatalf("saturated X = %v, want ≈%v", cr.Throughput, 1/D)
+	}
+	wantR := 2000*D - Z
+	if math.Abs(cr.ResponseTime-wantR)/wantR > 0.02 {
+		t.Fatalf("saturated R = %v, want ≈%v", cr.ResponseTime, wantR)
+	}
+	if u := res.ProcessorUtil["cpu"]; math.Abs(u-1) > 0.01 {
+		t.Fatalf("saturated utilisation = %v, want ≈1", u)
+	}
+}
+
+func TestSolveSchweitzerTracksExactMVA(t *testing.T) {
+	// The ablation pair: Schweitzer's approximation stays within a few
+	// percent of the exact single-class recursion across loads.
+	for _, pop := range []int{1, 5, 20, 80, 200, 800} {
+		approx := solveTiny(t, pop, 1, Options{})
+		exact := solveTiny(t, pop, 1, Options{ExactMVA: true})
+		a, e := approx.Classes["users"], exact.Classes["users"]
+		if e.ResponseTime == 0 {
+			t.Fatalf("exact RT zero at pop %d", pop)
+		}
+		// Schweitzer deviates most near the saturation knee; ~10% is
+		// its documented worst case on balanced networks.
+		if math.Abs(a.ResponseTime-e.ResponseTime)/e.ResponseTime > 0.10 {
+			t.Fatalf("pop %d: approx RT %v vs exact %v", pop, a.ResponseTime, e.ResponseTime)
+		}
+	}
+}
+
+func TestSolveExactMVARejectsMulticlass(t *testing.T) {
+	m, err := NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), workload.CaseStudyDemands(), workload.MixedWorkload(100, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(m, Options{ExactMVA: true}); err == nil {
+		t.Fatal("exact MVA must reject multiclass models")
+	}
+}
+
+func TestSolveTradeLightLoad(t *testing.T) {
+	res, err := PredictTrade(workload.AppServF(), workload.CaseStudyDemands(), workload.TypicalWorkload(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := workload.CaseStudyDemands()[workload.Browse]
+	want := d.AppServerTime + d.TotalDBTime()
+	got := res.Classes["browse"].ResponseTime
+	if math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("light-load RT = %v, want ≈%v", got, want)
+	}
+}
+
+func TestSolveTradeSaturation(t *testing.T) {
+	// At 2500 clients AppServF is far past saturation: X ≈ 186/s and
+	// RT ≈ N/X − Z.
+	res, err := PredictTrade(workload.AppServF(), workload.CaseStudyDemands(), workload.TypicalWorkload(2500), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := res.Classes["browse"].Throughput
+	if math.Abs(x-workload.MaxThroughputF)/workload.MaxThroughputF > 0.02 {
+		t.Fatalf("saturated X = %v, want ≈186", x)
+	}
+	wantR := 2500/workload.MaxThroughputF - workload.ThinkTimeMean
+	gotR := res.Classes["browse"].ResponseTime
+	if math.Abs(gotR-wantR)/wantR > 0.05 {
+		t.Fatalf("saturated RT = %v, want ≈%v", gotR, wantR)
+	}
+}
+
+func TestSolveTradeSpeedScaling(t *testing.T) {
+	// The same workload saturates AppServS at 86/s and AppServVF at
+	// 320/s — the processor speed carries the benchmark ratio.
+	for _, tc := range []struct {
+		server workload.ServerArch
+		want   float64
+	}{
+		{workload.AppServS(), workload.MaxThroughputS},
+		{workload.AppServVF(), workload.MaxThroughputVF},
+	} {
+		res, err := PredictTrade(tc.server, workload.CaseStudyDemands(), workload.TypicalWorkload(4000), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := res.TotalThroughput()
+		if math.Abs(x-tc.want)/tc.want > 0.02 {
+			t.Fatalf("%s saturated X = %v, want ≈%v", tc.server.Name, x, tc.want)
+		}
+	}
+}
+
+func TestSolveTradeMulticlass(t *testing.T) {
+	res, err := PredictTrade(workload.AppServF(), workload.CaseStudyDemands(), workload.MixedWorkload(800, 0.25), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buy := res.Classes["buy"]
+	browse := res.Classes["browse"]
+	if buy.ResponseTime <= browse.ResponseTime {
+		t.Fatalf("buy RT %v should exceed browse RT %v", buy.ResponseTime, browse.ResponseTime)
+	}
+	// Throughput split tracks the population split.
+	frac := buy.Throughput / (buy.Throughput + browse.Throughput)
+	if math.Abs(frac-0.25) > 0.03 {
+		t.Fatalf("buy throughput share = %v, want ≈0.25", frac)
+	}
+	// Per-class processor utilisation decomposes the total.
+	var sum float64
+	for _, u := range res.ClassProcessorUtil["appcpu"] {
+		sum += u
+	}
+	if math.Abs(sum-res.ProcessorUtil["appcpu"]) > 1e-9 {
+		t.Fatalf("class utilisations sum %v != total %v", sum, res.ProcessorUtil["appcpu"])
+	}
+}
+
+func TestSolveMeanResponseTimeWeighting(t *testing.T) {
+	res := &Result{Classes: map[string]ClassResult{
+		"a": {ResponseTime: 1, Throughput: 3},
+		"b": {ResponseTime: 2, Throughput: 1},
+	}}
+	want := (1*3 + 2*1) / 4.0
+	if got := res.MeanResponseTime(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("weighted mean RT = %v, want %v", got, want)
+	}
+	empty := &Result{Classes: map[string]ClassResult{}}
+	if empty.MeanResponseTime() != 0 {
+		t.Fatal("empty result should report 0")
+	}
+}
+
+func TestSolveConvergenceCriterionAffectsIterations(t *testing.T) {
+	coarse := solveTiny(t, 500, 1, Options{Convergence: 0.02})
+	fine := solveTiny(t, 500, 1, Options{Convergence: 1e-9})
+	if coarse.Iterations > fine.Iterations {
+		t.Fatalf("coarse criterion used more iterations (%d) than fine (%d)",
+			coarse.Iterations, fine.Iterations)
+	}
+	if !fine.Converged {
+		t.Fatal("fine solve did not converge")
+	}
+}
+
+func TestSolveTimeRecorded(t *testing.T) {
+	res := solveTiny(t, 100, 1, Options{})
+	if res.SolveTime <= 0 {
+		t.Fatal("solve time not recorded")
+	}
+}

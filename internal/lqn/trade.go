@@ -1,0 +1,166 @@
+package lqn
+
+import (
+	"errors"
+	"fmt"
+
+	"perfpred/internal/workload"
+)
+
+// NewTradeModel builds the paper's §5 layered queuing model of the
+// case study: client reference classes calling application-server
+// entries that make synchronous calls to database entries. The
+// application and database servers are tasks with the case-study
+// thread multiplicities (50 and 20) running on processor-sharing
+// processors; demands are per-request-type means on the reference
+// architecture, scaled by the server's benchmarked speed via the
+// processor speed.
+func NewTradeModel(server workload.ServerArch, db workload.DBServer, demands map[workload.RequestType]workload.Demand, load workload.Workload) (*Model, error) {
+	if err := server.Validate(); err != nil {
+		return nil, err
+	}
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	if err := load.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Request types in deterministic order.
+	types := make([]workload.RequestType, 0, len(demands))
+	for rt := range demands {
+		types = append(types, rt)
+	}
+	for i := 1; i < len(types); i++ {
+		for j := i; j > 0 && types[j] < types[j-1]; j-- {
+			types[j], types[j-1] = types[j-1], types[j]
+		}
+	}
+
+	appTask := &Task{Name: "appserver", Processor: "appcpu", Mult: server.MPL}
+	dbTask := &Task{Name: "dbserver", Processor: "dbcpu", Mult: db.MPL}
+	var latencyTask *Task
+	for _, rt := range types {
+		d := demands[rt]
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("lqn: demand for %q: %w", rt, err)
+		}
+		dbEntry := &Entry{Name: "db_" + string(rt), Demand: d.DBTimePerCall}
+		appEntry := &Entry{
+			Name:   "app_" + string(rt),
+			Demand: d.AppServerTime,
+			Calls:  []Call{{Target: dbEntry.Name, Mean: d.DBCallsPerRequest}},
+		}
+		if d.DBLatencyPerCall > 0 {
+			// Pure per-call latency: an infinite-server delay visited
+			// once per database call.
+			if latencyTask == nil {
+				latencyTask = &Task{Name: "dblatency", Processor: "dbwire", Mult: 1 << 20}
+			}
+			latEntry := &Entry{Name: "lat_" + string(rt), Demand: d.DBLatencyPerCall}
+			latencyTask.Entries = append(latencyTask.Entries, latEntry)
+			appEntry.Calls = append(appEntry.Calls, Call{Target: latEntry.Name, Mean: d.DBCallsPerRequest})
+		}
+		appTask.Entries = append(appTask.Entries, appEntry)
+		dbTask.Entries = append(dbTask.Entries, dbEntry)
+	}
+
+	m := &Model{
+		Processors: []*Processor{
+			{Name: "appcpu", Mult: 1, Speed: server.Speed, Sched: PS},
+			{Name: "dbcpu", Mult: 1, Speed: db.Speed, Sched: PS},
+		},
+		Tasks: []*Task{appTask, dbTask},
+	}
+	if latencyTask != nil {
+		m.Processors = append(m.Processors, &Processor{Name: "dbwire", Mult: 1, Speed: 1, Sched: Delay})
+		m.Tasks = append(m.Tasks, latencyTask)
+	}
+	for _, p := range load {
+		calls := make([]Call, 0, len(p.Class.Mix))
+		for _, rt := range types {
+			if f := p.Class.Mix.Fraction(rt); f > 0 {
+				calls = append(calls, Call{Target: "app_" + string(rt), Mean: f})
+			}
+		}
+		if len(calls) == 0 {
+			return nil, fmt.Errorf("lqn: class %q has no resolvable mix entries", p.Class.Name)
+		}
+		cl := &Class{
+			Name:  p.Class.Name,
+			Calls: calls,
+		}
+		if p.Open() {
+			cl.ArrivalRate = p.ArrivalRate
+		} else {
+			cl.Population = p.Clients
+			cl.Think = p.Class.ThinkTimeMean
+		}
+		m.Classes = append(m.Classes, cl)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// AddCriticalSection augments a trade model with the profiled §8.1
+// bottleneck: application requests enter a single-threaded critical
+// section with probability fraction, holding a global lock for a mean
+// of meanTime seconds of CPU. The paper notes the layered method "can
+// model systems containing queues that are not explicitly defined ...
+// however [it] require[s] additional profiling to model the extra
+// queues created" — this helper is that profiling step: it adds the
+// serialisation queue as an explicit single-server FCFS station and
+// folds the section's CPU work into the application entries. Without
+// it (the naive model) the layered prediction misses the bottleneck
+// entirely.
+func AddCriticalSection(m *Model, serverSpeed, meanTime, fraction float64) error {
+	if meanTime <= 0 {
+		return errors.New("lqn: critical section needs positive mean time")
+	}
+	if fraction <= 0 || fraction > 1 {
+		return fmt.Errorf("lqn: critical-section fraction %v outside (0,1]", fraction)
+	}
+	if serverSpeed <= 0 {
+		return errors.New("lqn: critical section needs positive server speed")
+	}
+	const (
+		procName  = "cslock"
+		entryName = "cs_section"
+	)
+	for _, p := range m.Processors {
+		if p.Name == procName {
+			return fmt.Errorf("lqn: model already has a %q processor", procName)
+		}
+	}
+	m.Processors = append(m.Processors, &Processor{
+		Name: procName, Mult: 1, Speed: serverSpeed, Sched: FCFS,
+	})
+	m.Tasks = append(m.Tasks, &Task{
+		Name: "critsec", Processor: procName, Mult: 1,
+		Entries: []*Entry{{Name: entryName, Demand: meanTime}},
+	})
+	for _, t := range m.Tasks {
+		if t.Name != "appserver" {
+			continue
+		}
+		for _, e := range t.Entries {
+			// The section's CPU work inflates the entry demand; the
+			// serialisation wait comes from the lock station.
+			e.Demand += fraction * meanTime
+			e.Calls = append(e.Calls, Call{Target: entryName, Mean: fraction})
+		}
+	}
+	return m.Validate()
+}
+
+// PredictTrade is the one-call convenience: build the case-study model
+// for the given server and workload and solve it.
+func PredictTrade(server workload.ServerArch, demands map[workload.RequestType]workload.Demand, load workload.Workload, opt Options) (*Result, error) {
+	m, err := NewTradeModel(server, workload.CaseStudyDB(), demands, load)
+	if err != nil {
+		return nil, err
+	}
+	return Solve(m, opt)
+}

@@ -1,0 +1,65 @@
+package lqn
+
+import (
+	"testing"
+
+	"perfpred/internal/workload"
+)
+
+func csModel(t *testing.T, n int) *Model {
+	t.Helper()
+	m, err := NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), workload.CaseStudyDemands(), workload.TypicalWorkload(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAddCriticalSectionValidation(t *testing.T) {
+	m := csModel(t, 100)
+	if err := AddCriticalSection(m, 1, 0, 0.5); err == nil {
+		t.Fatal("zero mean time should fail")
+	}
+	if err := AddCriticalSection(m, 1, 0.01, 0); err == nil {
+		t.Fatal("zero fraction should fail")
+	}
+	if err := AddCriticalSection(m, 0, 0.01, 0.5); err == nil {
+		t.Fatal("zero speed should fail")
+	}
+	if err := AddCriticalSection(m, 1, 0.01, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := AddCriticalSection(m, 1, 0.01, 0.5); err == nil {
+		t.Fatal("double profiling should fail")
+	}
+}
+
+func TestProfiledModelPredictsBottleneck(t *testing.T) {
+	// At a load past the bottlenecked ceiling but below the
+	// unconstrained one, the profiled model predicts a far higher RT
+	// than the naive model.
+	const n = 1150 // ≈ 135 req/s offered; ceiling with CS ≈ 119
+	naive := csModel(t, n)
+	naiveRes, err := Solve(naive, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiled := csModel(t, n)
+	if err := AddCriticalSection(profiled, 1, 0.010, 0.30); err != nil {
+		t.Fatal(err)
+	}
+	profRes, err := Solve(profiled, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nRT := naiveRes.MeanResponseTime()
+	pRT := profRes.MeanResponseTime()
+	if pRT < 5*nRT {
+		t.Fatalf("profiled RT %v should dwarf naive %v past the hidden ceiling", pRT, nRT)
+	}
+	// Profiled throughput pins near the bottleneck ceiling.
+	x := profRes.TotalThroughput()
+	if x > 125 || x < 105 {
+		t.Fatalf("profiled throughput = %v, want ≈119", x)
+	}
+}

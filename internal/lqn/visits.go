@@ -1,0 +1,80 @@
+package lqn
+
+// classVisits separates a class's entry invocation counts by what they
+// contribute to:
+//
+//   - resp: invocations whose service the top-level caller waits for
+//     (synchronous and forwarded chains) — these add response time;
+//   - util: every invocation, including the subtrees reached only
+//     through asynchronous calls — these add processor load.
+//
+// Second-phase demands are handled at demand-folding time: they belong
+// to util but never to resp.
+type classVisits struct {
+	resp map[string]float64
+	util map[string]float64
+}
+
+// visitRatios computes, for one class, the expected number of
+// invocations of every entry per top-level request, by chaining mean
+// call counts down the (acyclic) call graph. An asynchronous call cuts
+// the response-relevant chain: everything below it still loads
+// processors but adds no caller-visible latency.
+func visitRatios(r *resolved, cl *Class) classVisits {
+	v := classVisits{
+		resp: make(map[string]float64),
+		util: make(map[string]float64),
+	}
+	var descend func(entry string, mult float64, inResp bool)
+	descend = func(entry string, mult float64, inResp bool) {
+		if mult == 0 {
+			return
+		}
+		v.util[entry] += mult
+		if inResp {
+			v.resp[entry] += mult
+		}
+		for _, c := range r.entries[entry].Calls {
+			descend(c.Target, mult*c.Mean, inResp && c.kind() != Async)
+		}
+	}
+	for _, c := range cl.Calls {
+		descend(c.Target, c.Mean, c.kind() != Async)
+	}
+	return v
+}
+
+// classDemands is a class's per-processor demand split.
+type classDemands struct {
+	// resp is the caller-visible service demand (seconds per top-level
+	// request) at each processor.
+	resp map[string]float64
+	// util is the total demand including second phases and
+	// asynchronous subtrees — what the processor actually executes per
+	// top-level request.
+	util map[string]float64
+}
+
+// processorDemands folds a class's visit ratios into per-processor
+// service demands, dividing by processor speed. Phase-1 demand counts
+// toward both response and utilisation; phase-2 and async-only
+// invocations count toward utilisation only.
+func processorDemands(r *resolved, v classVisits) classDemands {
+	d := classDemands{
+		resp: make(map[string]float64),
+		util: make(map[string]float64),
+	}
+	for entry, visits := range v.util {
+		task := r.entryTask[entry]
+		proc := r.processors[task.Processor]
+		e := r.entries[entry]
+		d.util[proc.Name] += visits * (e.Demand + e.Demand2) / proc.Speed
+	}
+	for entry, visits := range v.resp {
+		task := r.entryTask[entry]
+		proc := r.processors[task.Processor]
+		e := r.entries[entry]
+		d.resp[proc.Name] += visits * e.Demand / proc.Speed
+	}
+	return d
+}

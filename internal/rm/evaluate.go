@@ -1,0 +1,260 @@
+package rm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"perfpred/internal/sla"
+)
+
+// EvalOptions tunes the runtime evaluation of a plan.
+type EvalOptions struct {
+	// RejectThreshold scales the goal at which a server starts
+	// rejecting clients at runtime: servers "reject clients at runtime
+	// if response times are within a threshold of missing SLA goals"
+	// (§9). 0 selects 1.0 (reject exactly at the goal).
+	RejectThreshold float64
+	// DisableRuntimeOptimization turns off the re-placement of
+	// rejected clients onto real spare capacity — the optimisation
+	// responsible for the spiky figure-5 lines.
+	DisableRuntimeOptimization bool
+}
+
+// Result is the runtime outcome of a plan under the real system's
+// behaviour.
+type Result struct {
+	// SLAFailurePct is the percentage of (real) clients rejected.
+	SLAFailurePct float64
+	// ServerUsagePct is the planned % server usage (the processing
+	// power committed to the application).
+	ServerUsagePct float64
+	// RejectedByClass maps class name to rejected real clients.
+	RejectedByClass map[string]int
+	// Tracker carries the underlying served/rejected accounting.
+	Tracker *sla.Tracker
+}
+
+// Evaluate plays a plan out against the real system, represented by
+// the truth predictor: real clients are distributed pro-rata over the
+// planned (slack-inflated) allocations, each server rejects the
+// clients beyond its *actual* capacity, and — unless disabled — the
+// runtime optimisation re-places rejected clients on servers with real
+// spare capacity. The two §9.1 cost metrics come back in Result.
+func Evaluate(plan *Plan, classes []Class, servers []Server, truth Predictor, opts EvalOptions) (*Result, error) {
+	if plan == nil {
+		return nil, errors.New("rm: nil plan")
+	}
+	threshold := opts.RejectThreshold
+	if threshold == 0 {
+		threshold = 1.0
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("rm: invalid reject threshold %v", threshold)
+	}
+
+	classByName := make(map[string]Class, len(classes))
+	for _, c := range classes {
+		classByName[c.Name] = c
+	}
+	serverByName := make(map[string]Server, len(servers))
+	for _, s := range servers {
+		serverByName[s.Name] = s
+	}
+
+	// Distribute each class's real clients pro-rata over its planned
+	// allocations (largest-remainder rounding keeps totals exact).
+	type placement struct {
+		server string
+		class  string
+		goal   float64
+		real   int
+	}
+	var placements []placement
+	tracker := sla.NewTracker()
+	rejected := make(map[string]int)
+
+	for _, c := range classes {
+		planned := plan.PlannedFor(c.Name)
+		if planned == 0 {
+			if c.Clients > 0 {
+				rejected[c.Name] += c.Clients
+				tracker.Reject(c.Name, c.Clients)
+			}
+			continue
+		}
+		var allocs []Allocation
+		for _, a := range plan.Allocations {
+			if a.Class == c.Name {
+				allocs = append(allocs, a)
+			}
+		}
+		// Largest-remainder apportionment of real clients.
+		shares := make([]float64, len(allocs))
+		floors := make([]int, len(allocs))
+		assigned := 0
+		for i, a := range allocs {
+			shares[i] = float64(c.Clients) * float64(a.Clients) / float64(planned)
+			floors[i] = int(math.Floor(shares[i]))
+			assigned += floors[i]
+		}
+		type rem struct {
+			idx  int
+			frac float64
+		}
+		rems := make([]rem, len(allocs))
+		for i := range allocs {
+			rems[i] = rem{i, shares[i] - float64(floors[i])}
+		}
+		sort.SliceStable(rems, func(i, j int) bool { return rems[i].frac > rems[j].frac })
+		for k := 0; k < c.Clients-assigned; k++ {
+			floors[rems[k%len(rems)].idx]++
+		}
+		for i, a := range allocs {
+			if floors[i] > 0 {
+				placements = append(placements, placement{
+					server: a.Server, class: c.Name, goal: c.GoalRT, real: floors[i],
+				})
+			}
+		}
+	}
+
+	// Per-server runtime admission: reject clients beyond the server's
+	// real capacity at the tightest goal present, dropping the
+	// loosest-goal (lowest-priority) clients first so existing
+	// higher-priority clients keep their SLAs.
+	perServer := make(map[string][]int) // server -> placement indexes
+	for i, p := range placements {
+		perServer[p.server] = append(perServer[p.server], i)
+	}
+	serverLoad := make(map[string]int)
+	serverMinGoal := make(map[string]float64)
+	pool := make(map[string]int) // class -> rejected clients awaiting re-placement
+
+	serverNames := make([]string, 0, len(perServer))
+	for name := range perServer {
+		serverNames = append(serverNames, name)
+	}
+	sort.Strings(serverNames)
+	for _, name := range serverNames {
+		idxs := perServer[name]
+		srv, ok := serverByName[name]
+		if !ok {
+			return nil, fmt.Errorf("rm: plan references unknown server %q", name)
+		}
+		minGoal := math.Inf(1)
+		total := 0
+		for _, i := range idxs {
+			if placements[i].goal < minGoal {
+				minGoal = placements[i].goal
+			}
+			total += placements[i].real
+		}
+		capReal, err := realCapacity(truth, srv.Arch, minGoal*threshold)
+		if err != nil {
+			return nil, err
+		}
+		over := total - capReal
+		if over > 0 {
+			// Shed loosest goals first.
+			sort.SliceStable(idxs, func(a, b int) bool {
+				return placements[idxs[a]].goal > placements[idxs[b]].goal
+			})
+			for _, i := range idxs {
+				if over <= 0 {
+					break
+				}
+				drop := placements[i].real
+				if drop > over {
+					drop = over
+				}
+				placements[i].real -= drop
+				pool[placements[i].class] += drop
+				over -= drop
+			}
+			total = capReal
+		}
+		serverLoad[name] = total
+		serverMinGoal[name] = minGoal
+	}
+
+	// Runtime optimisation: "use any available capacity the algorithm
+	// leaves on a server" (§9.1) — re-place rejected clients on the
+	// real spare capacity of servers the plan already uses,
+	// tightest-goal classes first. Servers outside the plan stay
+	// untouched; workload that still finds no room is an SLA failure
+	// (the paper's second set of accept-all servers).
+	if !opts.DisableRuntimeOptimization && len(pool) > 0 {
+		classNames := make([]string, 0, len(pool))
+		for name := range pool {
+			classNames = append(classNames, name)
+		}
+		sort.Slice(classNames, func(i, j int) bool {
+			return classByName[classNames[i]].GoalRT < classByName[classNames[j]].GoalRT
+		})
+		for _, cname := range classNames {
+			goal := classByName[cname].GoalRT
+			for _, s := range servers {
+				if pool[cname] == 0 {
+					break
+				}
+				mg, used := serverMinGoal[s.Name]
+				if !used {
+					continue // the optimisation only touches planned servers
+				}
+				g := goal
+				if mg < g {
+					g = mg
+				}
+				capReal, err := realCapacity(truth, s.Arch, g*threshold)
+				if err != nil {
+					return nil, err
+				}
+				spare := capReal - serverLoad[s.Name]
+				if spare <= 0 {
+					continue
+				}
+				take := spare
+				if take > pool[cname] {
+					take = pool[cname]
+				}
+				serverLoad[s.Name] += take
+				if mg, ok := serverMinGoal[s.Name]; !ok || goal < mg {
+					serverMinGoal[s.Name] = goal
+				}
+				pool[cname] -= take
+				tracker.Serve(cname, take)
+			}
+		}
+	}
+
+	for _, p := range placements {
+		if p.real > 0 {
+			tracker.Serve(p.class, p.real)
+		}
+	}
+	for cname, n := range pool {
+		if n > 0 {
+			rejected[cname] += n
+			tracker.Reject(cname, n)
+		}
+	}
+
+	return &Result{
+		SLAFailurePct:   tracker.FailurePct(),
+		ServerUsagePct:  plan.UsagePct,
+		RejectedByClass: rejected,
+		Tracker:         tracker,
+	}, nil
+}
+
+// realCapacity asks the truth predictor how many clients the
+// architecture actually holds within the goal.
+func realCapacity(truth Predictor, arch string, goal float64) (int, error) {
+	maxN, err := truth.MaxClients(arch, goal)
+	if err != nil {
+		return 0, err
+	}
+	return int(math.Floor(maxN)), nil
+}

@@ -1,0 +1,61 @@
+package rm
+
+import (
+	"fmt"
+
+	"perfpred/internal/hist"
+)
+
+// ModelSet adapts per-architecture historical server models to the
+// Predictor interface. Both the historical method's models (calibrated
+// from measurements) and the hybrid method's (calibrated from layered
+// pseudo data) slot in here; the hybrid package's Model satisfies
+// Predictor directly as well.
+type ModelSet map[string]*hist.ServerModel
+
+// Predict returns the architecture's predicted mean response time at n
+// clients.
+func (m ModelSet) Predict(arch string, n float64) (float64, error) {
+	sm, ok := m[arch]
+	if !ok {
+		return 0, fmt.Errorf("rm: no model for architecture %q", arch)
+	}
+	return sm.Predict(n), nil
+}
+
+// MaxClients returns the architecture's predicted capacity under the
+// goal.
+func (m ModelSet) MaxClients(arch string, goalRT float64) (float64, error) {
+	sm, ok := m[arch]
+	if !ok {
+		return 0, fmt.Errorf("rm: no model for architecture %q", arch)
+	}
+	return sm.MaxClients(goalRT)
+}
+
+// Biased wraps a Predictor with the §9.1 uniform predictive
+// inaccuracy: "multiplying the actual number of clients by y gives the
+// prediction", i.e. predicted capacity = y × actual capacity. Y < 1
+// underpredicts capacity; Y > 1 overpredicts it.
+type Biased struct {
+	Base Predictor
+	Y    float64
+}
+
+// MaxClients scales the base capacity by Y.
+func (b Biased) MaxClients(arch string, goalRT float64) (float64, error) {
+	n, err := b.Base.MaxClients(arch, goalRT)
+	if err != nil {
+		return 0, err
+	}
+	return n * b.Y, nil
+}
+
+// Predict evaluates the base model at the un-biased population, so
+// Predict and MaxClients stay mutually consistent.
+func (b Biased) Predict(arch string, n float64) (float64, error) {
+	if b.Y <= 0 {
+		return 0, fmt.Errorf("rm: invalid bias %v", b.Y)
+	}
+	return b.Base.Predict(arch, n/b.Y)
+}

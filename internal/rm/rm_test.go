@@ -1,0 +1,421 @@
+package rm
+
+import (
+	"math"
+	"testing"
+
+	"perfpred/internal/hist"
+	"perfpred/internal/sla"
+	"perfpred/internal/workload"
+)
+
+// truthModels builds analytic per-architecture models shaped like the
+// case study (§4.2 scaling laws), used as the "real system" in tests.
+func truthModels() ModelSet {
+	mk := func(arch workload.ServerArch) *hist.ServerModel {
+		x := arch.MaxThroughputTypical
+		return &hist.ServerModel{
+			Arch:          arch,
+			MaxThroughput: x,
+			CL:            0.0002*x + 0.05,
+			LambdaL:       3.0 * math.Pow(x, -1.8),
+			LambdaU:       1.0 / x,
+			CU:            -workload.ThinkTimeMean,
+			M:             0.14,
+		}
+	}
+	return ModelSet{
+		"AppServS":  mk(workload.AppServS()),
+		"AppServF":  mk(workload.AppServF()),
+		"AppServVF": mk(workload.AppServVF()),
+	}
+}
+
+func TestSplitLoadExact(t *testing.T) {
+	classes, err := SplitLoad(1000, CaseStudyShares())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range classes {
+		total += c.Clients
+	}
+	if total != 1000 {
+		t.Fatalf("split total = %d", total)
+	}
+	if classes[0].Clients != 100 || classes[1].Clients != 450 || classes[2].Clients != 450 {
+		t.Fatalf("split = %+v", classes)
+	}
+	// Rounding stays exact for awkward totals.
+	classes, err = SplitLoad(997, CaseStudyShares())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = 0
+	for _, c := range classes {
+		total += c.Clients
+	}
+	if total != 997 {
+		t.Fatalf("awkward split total = %d", total)
+	}
+}
+
+func TestSplitLoadErrors(t *testing.T) {
+	if _, err := SplitLoad(-1, CaseStudyShares()); err == nil {
+		t.Fatal("negative total should fail")
+	}
+	if _, err := SplitLoad(10, []ClassShare{{Name: "x", GoalRT: 1, Fraction: 0.5}}); err == nil {
+		t.Fatal("non-unit fractions should fail")
+	}
+	if _, err := SplitLoad(10, []ClassShare{
+		{Name: "x", GoalRT: 1, Fraction: -0.5}, {Name: "y", GoalRT: 1, Fraction: 1.5},
+	}); err == nil {
+		t.Fatal("negative fraction should fail")
+	}
+}
+
+func TestAllocateRespectsPriorityOrder(t *testing.T) {
+	truth := truthModels()
+	servers := []Server{{Name: "only", Arch: "AppServS", Power: 86}}
+	// More demand than the one server can hold: the looser-goal class
+	// must be rejected first.
+	classes := []Class{
+		{Name: "loose", GoalRT: 0.600, Clients: 2000},
+		{Name: "tight", GoalRT: 0.150, Clients: 100},
+	}
+	plan, err := Allocate(classes, servers, truth, 1.0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PlannedFor("tight") != 100 {
+		t.Fatalf("tight class planned %d of 100", plan.PlannedFor("tight"))
+	}
+	if plan.RejectedPlanned["loose"] == 0 {
+		t.Fatal("loose class should bear the rejection")
+	}
+	if plan.RejectedPlanned["tight"] != 0 {
+		t.Fatal("tight class should be fully placed")
+	}
+}
+
+func TestAllocateLastServerRule(t *testing.T) {
+	truth := truthModels()
+	servers := []Server{
+		{Name: "big", Arch: "AppServVF", Power: 320},
+		{Name: "small", Arch: "AppServS", Power: 86},
+	}
+	// A class small enough to fit on either server: with the rule it
+	// takes the smallest feasible server; without it, the biggest.
+	classes := []Class{{Name: "c", GoalRT: 0.600, Clients: 100}}
+	withRule, err := Allocate(classes, servers, truth, 1.0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withRule.Allocations) != 1 || withRule.Allocations[0].Server != "small" {
+		t.Fatalf("with rule: allocations = %+v, want all on small", withRule.Allocations)
+	}
+	without, err := Allocate(classes, servers, truth, 1.0, Options{DisableLastServerRule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(without.Allocations) != 1 || without.Allocations[0].Server != "big" {
+		t.Fatalf("without rule: allocations = %+v, want all on big", without.Allocations)
+	}
+}
+
+func TestAllocateSlackInflatesPlan(t *testing.T) {
+	truth := truthModels()
+	servers := CaseStudyServers()
+	classes := []Class{{Name: "c", GoalRT: 0.600, Clients: 1000}}
+	plan, err := Allocate(classes, servers, truth, 1.1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.PlannedFor("c"); got != 1100 {
+		t.Fatalf("planned = %d, want 1100 (slack-inflated)", got)
+	}
+}
+
+func TestAllocateUsagePct(t *testing.T) {
+	truth := truthModels()
+	servers := []Server{
+		{Name: "a", Arch: "AppServS", Power: 86},
+		{Name: "b", Arch: "AppServVF", Power: 320},
+	}
+	classes := []Class{{Name: "c", GoalRT: 0.600, Clients: 10}}
+	plan, err := Allocate(classes, servers, truth, 1.0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last-server rule puts 10 clients on the small server only.
+	want := 100 * 86.0 / 406.0
+	if math.Abs(plan.UsagePct-want) > 1e-9 {
+		t.Fatalf("usage = %v, want %v", plan.UsagePct, want)
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	truth := truthModels()
+	servers := CaseStudyServers()
+	classes := []Class{{Name: "c", GoalRT: 0.6, Clients: 10}}
+	if _, err := Allocate(nil, servers, truth, 1, Options{}); err == nil {
+		t.Fatal("no classes should fail")
+	}
+	if _, err := Allocate(classes, nil, truth, 1, Options{}); err == nil {
+		t.Fatal("no servers should fail")
+	}
+	if _, err := Allocate(classes, servers, truth, -1, Options{}); err == nil {
+		t.Fatal("negative slack should fail")
+	}
+	if _, err := Allocate([]Class{{Name: "c", GoalRT: 0, Clients: 1}}, servers, truth, 1, Options{}); err == nil {
+		t.Fatal("zero goal should fail")
+	}
+	if _, err := Allocate(classes, []Server{{Name: "s", Arch: "AppServS", Power: 0}}, truth, 1, Options{}); err == nil {
+		t.Fatal("zero power should fail")
+	}
+	if _, err := Allocate(classes, []Server{{Name: "s", Arch: "ghost", Power: 1}}, truth, 1, Options{}); err == nil {
+		t.Fatal("unknown arch should fail")
+	}
+}
+
+func TestEvaluatePerfectPredictorZeroFailures(t *testing.T) {
+	truth := truthModels()
+	servers := CaseStudyServers()
+	classes, err := SplitLoad(4000, CaseStudyShares())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Allocate(classes, servers, truth, 1.0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(plan, classes, servers, truth, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLAFailurePct != 0 {
+		t.Fatalf("perfect predictions should give 0%% failures, got %v (rejected %v)",
+			res.SLAFailurePct, res.RejectedByClass)
+	}
+	if res.ServerUsagePct <= 0 || res.ServerUsagePct > 100 {
+		t.Fatalf("usage = %v", res.ServerUsagePct)
+	}
+}
+
+func TestEvaluateOverpredictionCausesFailures(t *testing.T) {
+	truth := truthModels()
+	// Optimistic predictor: thinks servers hold 30% more than reality.
+	optimistic := Biased{Base: truth, Y: 1.3}
+	servers := CaseStudyServers()
+	classes, err := SplitLoad(9000, CaseStudyShares())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Allocate(classes, servers, optimistic, 1.0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(plan, classes, servers, truth, EvalOptions{DisableRuntimeOptimization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLAFailurePct <= 0 {
+		t.Fatal("overprediction at high load should cause failures")
+	}
+}
+
+func TestUniformInaccuracyCompensatedBySlack(t *testing.T) {
+	// §9.1: with uniform predictive error y, setting slack = y gives
+	// 0% SLA failures below 100% usage and a % server usage that does
+	// not depend on y.
+	truth := truthModels()
+	servers := CaseStudyServers()
+	loads := []int{2000, 4000, 6000}
+	var usages []float64
+	for _, y := range []float64{1.0, 1.15, 1.3} {
+		pred := Biased{Base: truth, Y: y}
+		points, err := SweepLoad(CaseStudyShares(), servers, pred, truth, y, loads, Options{}, EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range points {
+			if p.ServerUsagePct < 100 && p.SLAFailurePct > 0 {
+				t.Fatalf("y=%v slack=y: %v%% failures at %d clients", y, p.SLAFailurePct, p.TotalClients)
+			}
+		}
+		_, usage := AverageMetrics(points)
+		usages = append(usages, usage)
+	}
+	for i := 1; i < len(usages); i++ {
+		if math.Abs(usages[i]-usages[0]) > 3 {
+			t.Fatalf("server usage should be ≈constant across y: %v", usages)
+		}
+	}
+}
+
+func TestRuntimeOptimizationReducesFailures(t *testing.T) {
+	truth := truthModels()
+	optimistic := Biased{Base: truth, Y: 1.4}
+	servers := CaseStudyServers()
+	classes, err := SplitLoad(7000, CaseStudyShares())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Allocate(classes, servers, optimistic, 1.0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Evaluate(plan, classes, servers, truth, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Evaluate(plan, classes, servers, truth, EvalOptions{DisableRuntimeOptimization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.SLAFailurePct > without.SLAFailurePct {
+		t.Fatalf("optimisation increased failures: %v vs %v", with.SLAFailurePct, without.SLAFailurePct)
+	}
+}
+
+func TestSweepSlackTradeOff(t *testing.T) {
+	// Figure 7's shape: as slack drops from the zero-failure level,
+	// average failures rise and average usage falls (saving rises).
+	truth := truthModels()
+	pred := Biased{Base: truth, Y: 1.1} // non-uniform stand-in: optimistic
+	servers := CaseStudyServers()
+	loads := []int{2000, 4000, 6000, 8000}
+	slacks := []float64{1.1, 0.9, 0.7, 0.5}
+	points, err := SweepSlack(CaseStudyShares(), servers, pred, truth, slacks, loads, Options{}, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(slacks) {
+		t.Fatalf("got %d slack points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].AvgFailPct < points[i-1].AvgFailPct-1e-9 {
+			t.Fatalf("failures should not fall as slack drops: %+v", points)
+		}
+		if points[i].AvgUsageSavingPct < points[i-1].AvgUsageSavingPct-1e-9 {
+			t.Fatalf("usage saving should not fall as slack drops: %+v", points)
+		}
+	}
+	if points[0].AvgUsageSavingPct != 0 {
+		t.Fatalf("saving at the anchor slack should be 0, got %v", points[0].AvgUsageSavingPct)
+	}
+}
+
+func TestMinZeroFailureSlack(t *testing.T) {
+	truth := truthModels()
+	pred := Biased{Base: truth, Y: 1.2}
+	servers := CaseStudyServers()
+	loads := []int{2000, 4000, 6000}
+	slacks := []float64{0.9, 1.0, 1.1, 1.2, 1.3}
+	got, err := MinZeroFailureSlack(CaseStudyShares(), servers, pred, truth, slacks, loads, Options{}, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With uniform overprediction y=1.2, slack ≈ 1.2 compensates.
+	if got < 1.1 || got > 1.3 {
+		t.Fatalf("min zero-failure slack = %v, want ≈1.2", got)
+	}
+}
+
+func TestBiasedPredictorConsistency(t *testing.T) {
+	truth := truthModels()
+	b := Biased{Base: truth, Y: 1.2}
+	n, err := b.MaxClients("AppServF", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := truth.MaxClients("AppServF", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n-1.2*base) > 1e-9 {
+		t.Fatalf("biased capacity = %v, want %v", n, 1.2*base)
+	}
+	// Predict at the biased capacity returns ≈ the goal.
+	rt, err := b.Predict("AppServF", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rt-0.3) > 0.01 {
+		t.Fatalf("biased predict at capacity = %v, want ≈0.3", rt)
+	}
+	if _, err := (Biased{Base: truth, Y: 0}).Predict("AppServF", 10); err == nil {
+		t.Fatal("zero bias should fail")
+	}
+	if _, err := truth.Predict("ghost", 1); err == nil {
+		t.Fatal("unknown arch should fail")
+	}
+	if _, err := truth.MaxClients("ghost", 1); err == nil {
+		t.Fatal("unknown arch should fail")
+	}
+}
+
+func TestCheapestSlack(t *testing.T) {
+	points := []SlackPoint{
+		{Slack: 1.1, AvgFailPct: 0, AvgUsagePct: 53},
+		{Slack: 1.0, AvgFailPct: 0, AvgUsagePct: 49},
+		{Slack: 0.9, AvgFailPct: 1.3, AvgUsagePct: 44},
+		{Slack: 0.5, AvgFailPct: 33, AvgUsagePct: 27},
+	}
+	// SLA failures costed heavily: the zero-failure lowest-usage slack
+	// wins.
+	best, cost, err := CheapestSlack(points, sla.CostModel{FailureCostPerPct: 100, UsageCostPerPct: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Slack != 1.0 {
+		t.Fatalf("best slack = %v, want 1.0", best.Slack)
+	}
+	if math.Abs(cost-49) > 1e-9 {
+		t.Fatalf("cost = %v", cost)
+	}
+	// Usage costed heavily: aggressive slack wins despite failures.
+	best, _, err = CheapestSlack(points, sla.CostModel{FailureCostPerPct: 0.1, UsageCostPerPct: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Slack != 0.5 {
+		t.Fatalf("usage-heavy best slack = %v, want 0.5", best.Slack)
+	}
+	if _, _, err := CheapestSlack(nil, sla.CostModel{FailureCostPerPct: 1}); err == nil {
+		t.Fatal("empty points should fail")
+	}
+	if _, _, err := CheapestSlack(points, sla.CostModel{}); err == nil {
+		t.Fatal("invalid cost model should fail")
+	}
+}
+
+func TestEvaluateRejectThreshold(t *testing.T) {
+	// A runtime rejection threshold below 1 makes servers shed clients
+	// earlier (they reject when response times are merely *near* the
+	// goal), so failures cannot decrease as the threshold tightens.
+	truth := truthModels()
+	servers := CaseStudyServers()
+	classes, err := SplitLoad(12000, CaseStudyShares())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Allocate(classes, servers, truth, 1.0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Evaluate(plan, classes, servers, truth, EvalOptions{RejectThreshold: 1.0, DisableRuntimeOptimization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Evaluate(plan, classes, servers, truth, EvalOptions{RejectThreshold: 0.8, DisableRuntimeOptimization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.SLAFailurePct < loose.SLAFailurePct {
+		t.Fatalf("tighter threshold reduced failures: %v vs %v", tight.SLAFailurePct, loose.SLAFailurePct)
+	}
+	if _, err := Evaluate(plan, classes, servers, truth, EvalOptions{RejectThreshold: -1}); err == nil {
+		t.Fatal("negative threshold should fail")
+	}
+}

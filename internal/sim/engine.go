@@ -1,0 +1,156 @@
+// Package sim is a deterministic discrete-event simulation core. It
+// provides the event engine, reproducible random streams and the
+// processor-sharing service station used to model the paper's
+// application and database servers: each server admits a bounded
+// number of requests "at the same time via time-sharing" from FIFO
+// waiting queues (§2, §5), which is exactly a processor-sharing
+// station with a multiprogramming limit and FIFO admission.
+//
+// The engine replaces the paper's physical WebSphere/DB2 testbed: the
+// Trade benchmark simulator (internal/trade) is built on these
+// primitives and produces the "measured" numbers that every prediction
+// method is scored against.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled occurrence in simulated time. It is returned by
+// Engine.Schedule so callers can cancel it before it fires.
+type Event struct {
+	time      float64
+	seq       uint64
+	action    func()
+	cancelled bool
+	index     int // heap index, -1 when not queued
+}
+
+// Cancel prevents the event's action from running when its time
+// arrives. Cancelling an already-fired or already-cancelled event is a
+// no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Time returns the simulated time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Engine is a sequential discrete-event scheduler. Events fire in
+// non-decreasing time order; ties break in scheduling order, which
+// keeps runs fully deterministic for a fixed seed. The zero value is
+// not usable; create engines with NewEngine.
+type Engine struct {
+	now    float64
+	queue  eventHeap
+	nextSq uint64
+	fired  uint64
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events executed so far, a cheap progress
+// and liveness metric for long runs.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs action after delay units of simulated time. It panics
+// on negative or NaN delays — those are always modelling bugs, never
+// recoverable conditions.
+func (e *Engine) Schedule(delay float64, action func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: invalid delay %v", delay))
+	}
+	ev := &Event{time: e.now + delay, seq: e.nextSq, action: action, index: -1}
+	e.nextSq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Run executes events until the clock would pass until, the event
+// queue drains, or limit events have fired (limit <= 0 means no
+// limit). It returns the number of events fired by this call.
+func (e *Engine) Run(until float64, limit uint64) uint64 {
+	var fired uint64
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.time > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.time
+		next.action()
+		e.fired++
+		fired++
+		if limit > 0 && fired >= limit {
+			break
+		}
+	}
+	if e.now < until && len(e.queue) == 0 {
+		e.now = until
+	} else if e.now < until && e.queue[0].time > until {
+		e.now = until
+	}
+	return fired
+}
+
+// Step executes the single next event, if any, and reports whether one
+// fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*Event)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.time
+		next.action()
+		e.fired++
+		return true
+	}
+	return false
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Stream is a reproducible pseudo-random stream with the sampling
+// helpers the workload and service models need. Distinct components of
+// a simulation (think times, service demands, operation selection)
+// should each own a Stream derived from the run seed, so changing how
+// one component consumes randomness does not perturb the others.
+type Stream struct {
+	r *rand.Rand
+}
+
+// NewStream returns a stream seeded deterministically from seed.
+func NewStream(seed int64) *Stream {
+	return &Stream{r: rand.New(rand.NewSource(seed))}
+}
+
+// Derive returns a new independent stream derived from this stream's
+// seed space and the given component label hash. It allows one run
+// seed to fan out into per-component streams.
+func (s *Stream) Derive(component uint64) *Stream {
+	// splitmix64 over the component id, xored with fresh draws from the
+	// parent, gives well-separated child seeds.
+	z := component + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return NewStream(int64(z) ^ s.r.Int63())
+}
+
+// Float64 returns a uniform draw in [0,1).
+func (s *Stream) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform draw in [0,n). It panics if n <= 0, matching
+// math/rand.
+func (s *Stream) Intn(n int) int { return s.r.Intn(n) }
+
+// Exp returns an exponentially distributed draw with the given mean.
+// The paper's think times and service demands are exponential (§3.1,
+// §5). A zero or negative mean returns 0, so degenerate "no delay"
+// configurations are representable.
+func (s *Stream) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return -mean * math.Log(1-s.r.Float64())
+}
+
+// Choose returns an index in [0,len(weights)) drawn with the given
+// relative weights, used to pick a client's next operation from the
+// Trade mix. It panics when weights is empty or sums to a non-positive
+// value.
+func (s *Stream) Choose(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("sim: negative weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("sim: Choose requires positive total weight")
+	}
+	u := s.r.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Geometric returns a draw of the number of trials until first failure
+// with continue-probability p in [0,1): 0 with probability 1-p, k with
+// probability (1-p)p^k. The Trade buy class uses it for the number of
+// sequential buy requests before logoff (§3.1).
+func (s *Stream) Geometric(p float64) int {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		panic("sim: geometric continue-probability must be < 1")
+	}
+	n := 0
+	for s.r.Float64() < p {
+		n++
+	}
+	return n
+}

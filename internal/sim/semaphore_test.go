@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSemaphoreImmediateGrant(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, "threads", 2, GlobalFIFO)
+	granted := 0
+	s.Acquire(0, func() { granted++ })
+	s.Acquire(0, func() { granted++ })
+	if granted != 2 || s.Held() != 2 {
+		t.Fatalf("granted=%d held=%d", granted, s.Held())
+	}
+}
+
+func TestSemaphoreQueuesBeyondCapacity(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, "threads", 1, GlobalFIFO)
+	var order []int
+	s.Acquire(0, func() { order = append(order, 1) })
+	s.Acquire(0, func() { order = append(order, 2) })
+	s.Acquire(0, func() { order = append(order, 3) })
+	if s.Queued() != 2 {
+		t.Fatalf("queued = %d, want 2", s.Queued())
+	}
+	s.Release() // grants 2
+	s.Release() // grants 3
+	if len(order) != 3 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("grant order = %v", order)
+	}
+	if s.Held() != 1 {
+		t.Fatalf("held = %d, want 1 (grant transfers the slot)", s.Held())
+	}
+}
+
+func TestSemaphoreGlobalFIFOAcrossSources(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, "agents", 1, GlobalFIFO)
+	var order []int
+	s.Acquire(5, func() {}) // holds the slot
+	s.Acquire(7, func() { order = append(order, 7) })
+	s.Acquire(3, func() { order = append(order, 3) })
+	s.Acquire(7, func() { order = append(order, 7) })
+	s.Release()
+	s.Release()
+	s.Release()
+	want := []int{7, 3, 7}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSemaphorePerSourceRoundRobin(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, "agents", 1, PerSourceFIFO)
+	var order []int
+	s.Acquire(1, func() {}) // holds the slot
+	for i := 0; i < 3; i++ {
+		s.Acquire(1, func() { order = append(order, 1) })
+	}
+	for i := 0; i < 3; i++ {
+		s.Acquire(2, func() { order = append(order, 2) })
+	}
+	for i := 0; i < 6; i++ {
+		s.Release()
+	}
+	// Round-robin must alternate between the two sources' queues.
+	changes := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] != order[i-1] {
+			changes++
+		}
+	}
+	if len(order) != 6 || changes < 4 {
+		t.Fatalf("grant order %v does not alternate per-source", order)
+	}
+}
+
+func TestSemaphoreOverReleasePanics(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, "x", 1, GlobalFIFO)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	s.Release()
+}
+
+func TestSemaphoreInvalidCapacityPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewSemaphore(e, "x", 0, GlobalFIFO)
+}
+
+func TestSemaphoreStats(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, "threads", 1, GlobalFIFO)
+	s.Acquire(0, func() {})
+	e.Schedule(10, func() { s.Release() })
+	e.Run(20, 0)
+	// Held for 10 of 20 time units.
+	if got := s.MeanHeld(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("mean held = %v, want 0.5", got)
+	}
+	if s.Grants() != 1 {
+		t.Fatalf("grants = %d, want 1", s.Grants())
+	}
+	s.ResetStats()
+	if s.MeanHeld() != 0 || s.Grants() != 0 {
+		t.Fatal("ResetStats did not zero statistics")
+	}
+}
+
+func TestSemaphoreMeanQueued(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, "threads", 1, GlobalFIFO)
+	s.Acquire(0, func() {})
+	s.Acquire(0, func() {}) // queued from t=0
+	e.Schedule(10, func() { s.Release() })
+	e.Run(20, 0)
+	// One waiter for 10 of 20 units.
+	if got := s.MeanQueued(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("mean queued = %v, want 0.5", got)
+	}
+}

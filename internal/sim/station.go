@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Admission selects how a Station picks the next waiting job when a
+// time-sharing slot frees up.
+type Admission int
+
+const (
+	// GlobalFIFO admits the job that has been waiting longest,
+	// regardless of source — the application-server queue of the
+	// paper's system model (§2).
+	GlobalFIFO Admission = iota
+	// PerSourceFIFO keeps one FIFO queue per source and admits from
+	// the queues in round-robin order — the database server of the
+	// paper's system model, which has "one FIFO queue per application
+	// server".
+	PerSourceFIFO
+)
+
+const remainEps = 1e-9
+
+// job is one request in service or waiting at a Station.
+type job struct {
+	remaining float64
+	done      func()
+	source    int
+	arrived   float64
+}
+
+// Station is a processor-sharing service centre with a multiprogramming
+// limit: up to MPL jobs are served simultaneously, each receiving an
+// equal share of the station's speed, and further arrivals wait in
+// FIFO queues. This is the paper's model of both server tiers: "both
+// servers can process multiple requests concurrently via time-sharing"
+// behind FIFO waiting queues.
+type Station struct {
+	eng       *Engine
+	name      string
+	speed     float64
+	mpl       int
+	admission Admission
+
+	active  []*job
+	queues  map[int][]*job
+	sources []int // insertion-ordered source ids for round-robin
+	rrNext  int
+
+	lastUpdate float64
+	completion *Event
+
+	// accumulated statistics
+	statsSince   float64
+	busyTime     float64
+	areaActive   float64
+	areaQueued   float64
+	completed    uint64
+	totalService float64
+	queuedCount  int
+}
+
+// NewStation creates a station attached to eng. speed is the service
+// rate multiplier (1 means demands are in time units); mpl is the
+// maximum number of jobs in service at once (0 means unlimited); adm
+// selects the admission discipline.
+func NewStation(eng *Engine, name string, speed float64, mpl int, adm Admission) *Station {
+	if speed <= 0 || math.IsNaN(speed) {
+		panic(fmt.Sprintf("sim: station %q needs positive speed, got %v", name, speed))
+	}
+	if mpl < 0 {
+		panic(fmt.Sprintf("sim: station %q needs non-negative MPL, got %d", name, mpl))
+	}
+	return &Station{
+		eng:       eng,
+		name:      name,
+		speed:     speed,
+		mpl:       mpl,
+		admission: adm,
+		queues:    make(map[int][]*job),
+	}
+}
+
+// Name returns the station's label.
+func (s *Station) Name() string { return s.name }
+
+// Submit offers a job with the given service demand (time units at
+// speed 1) from the given source. done runs when service completes.
+// Zero-demand jobs complete via the event queue, preserving causal
+// ordering. Negative or NaN demands panic: they are modelling bugs.
+func (s *Station) Submit(source int, demand float64, done func()) {
+	if demand < 0 || math.IsNaN(demand) {
+		panic(fmt.Sprintf("sim: station %q got invalid demand %v", s.name, demand))
+	}
+	s.update()
+	j := &job{remaining: demand, done: done, source: source, arrived: s.eng.Now()}
+	if s.mpl == 0 || len(s.active) < s.mpl {
+		s.active = append(s.active, j)
+	} else {
+		if _, ok := s.queues[source]; !ok {
+			s.sources = append(s.sources, source)
+		}
+		s.queues[source] = append(s.queues[source], j)
+		s.queuedCount++
+	}
+	s.scheduleNext()
+}
+
+// InService returns the number of jobs currently being time-shared.
+func (s *Station) InService() int { return len(s.active) }
+
+// Queued returns the number of jobs waiting for a slot.
+func (s *Station) Queued() int { return s.queuedCount }
+
+// update advances the per-job remaining demands and the time-weighted
+// statistics to the engine's current time.
+func (s *Station) update() {
+	now := s.eng.Now()
+	elapsed := now - s.lastUpdate
+	if elapsed > 0 {
+		if n := len(s.active); n > 0 {
+			perJob := elapsed * s.speed / float64(n)
+			for _, j := range s.active {
+				j.remaining -= perJob
+			}
+			s.busyTime += elapsed
+			s.areaActive += elapsed * float64(n)
+			s.totalService += elapsed * s.speed
+		}
+		s.areaQueued += elapsed * float64(s.queuedCount)
+	}
+	s.lastUpdate = now
+}
+
+// scheduleNext (re)schedules the completion event for the job with the
+// least remaining demand.
+func (s *Station) scheduleNext() {
+	s.completion.Cancel()
+	s.completion = nil
+	if len(s.active) == 0 {
+		return
+	}
+	minRemaining := math.Inf(1)
+	for _, j := range s.active {
+		if j.remaining < minRemaining {
+			minRemaining = j.remaining
+		}
+	}
+	if minRemaining < 0 {
+		minRemaining = 0
+	}
+	delay := minRemaining * float64(len(s.active)) / s.speed
+	s.completion = s.eng.Schedule(delay, s.onCompletion)
+}
+
+// onCompletion retires every job whose demand is exhausted, admits
+// replacements from the waiting queues, and then runs the retired
+// jobs' callbacks. Callbacks run after the station state is consistent
+// so they may immediately Submit again (e.g. a request's next database
+// call).
+func (s *Station) onCompletion() {
+	s.completion = nil
+	s.update()
+	var finished []*job
+	kept := s.active[:0]
+	for _, j := range s.active {
+		if j.remaining <= remainEps {
+			finished = append(finished, j)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	s.active = kept
+	s.completed += uint64(len(finished))
+	for s.mpl == 0 || len(s.active) < s.mpl {
+		next := s.admitOne()
+		if next == nil {
+			break
+		}
+		s.active = append(s.active, next)
+		s.queuedCount--
+	}
+	s.scheduleNext()
+	for _, j := range finished {
+		if j.done != nil {
+			j.done()
+		}
+	}
+}
+
+// admitOne removes and returns the next waiting job per the admission
+// discipline, or nil when all queues are empty.
+func (s *Station) admitOne() *job {
+	switch s.admission {
+	case PerSourceFIFO:
+		for range s.sources {
+			src := s.sources[s.rrNext%len(s.sources)]
+			s.rrNext++
+			if q := s.queues[src]; len(q) > 0 {
+				j := q[0]
+				s.queues[src] = q[1:]
+				return j
+			}
+		}
+		return nil
+	default: // GlobalFIFO: earliest arrival across all queues
+		var best *job
+		bestSrc := 0
+		for _, src := range s.sources {
+			q := s.queues[src]
+			if len(q) == 0 {
+				continue
+			}
+			if best == nil || q[0].arrived < best.arrived {
+				best = q[0]
+				bestSrc = src
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		s.queues[bestSrc] = s.queues[bestSrc][1:]
+		return best
+	}
+}
+
+// ResetStats zeroes the accumulated statistics (typically after a
+// warm-up period) without disturbing jobs in service or waiting.
+func (s *Station) ResetStats() {
+	s.update()
+	s.statsSince = s.eng.Now()
+	s.busyTime = 0
+	s.areaActive = 0
+	s.areaQueued = 0
+	s.completed = 0
+	s.totalService = 0
+}
+
+// Utilization returns the fraction of time since the last stats reset
+// that at least one job was in service.
+func (s *Station) Utilization() float64 {
+	s.update()
+	elapsed := s.eng.Now() - s.statsSince
+	if elapsed <= 0 {
+		return 0
+	}
+	return s.busyTime / elapsed
+}
+
+// MeanInService returns the time-average number of jobs in service
+// since the last stats reset.
+func (s *Station) MeanInService() float64 {
+	s.update()
+	elapsed := s.eng.Now() - s.statsSince
+	if elapsed <= 0 {
+		return 0
+	}
+	return s.areaActive / elapsed
+}
+
+// MeanQueued returns the time-average number of waiting jobs since the
+// last stats reset.
+func (s *Station) MeanQueued() float64 {
+	s.update()
+	elapsed := s.eng.Now() - s.statsSince
+	if elapsed <= 0 {
+		return 0
+	}
+	return s.areaQueued / elapsed
+}
+
+// Completed returns the number of jobs finished since the last stats
+// reset.
+func (s *Station) Completed() uint64 {
+	return s.completed
+}
+
+// Throughput returns completions per time unit since the last stats
+// reset.
+func (s *Station) Throughput() float64 {
+	elapsed := s.eng.Now() - s.statsSince
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.completed) / elapsed
+}

@@ -1,0 +1,115 @@
+// Package sla defines service level agreement goals and the cost
+// accounting the paper's resource-management study (§9) balances: the
+// penalty of SLA failures against the cost of server usage.
+package sla
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Goal is a response-time requirement for a service class. A zero
+// Percentile means the goal constrains the mean response time;
+// otherwise the goal is "Percentile of requests must respond within
+// MaxRT" (§7.1).
+type Goal struct {
+	// MaxRT is the response-time bound in seconds.
+	MaxRT float64
+	// Percentile is the required compliant fraction in (0,1), or 0 for
+	// a mean-based goal.
+	Percentile float64
+}
+
+// Validate reports the first structural problem with the goal.
+func (g Goal) Validate() error {
+	if g.MaxRT <= 0 {
+		return errors.New("sla: goal needs positive max response time")
+	}
+	if g.Percentile < 0 || g.Percentile >= 1 {
+		return fmt.Errorf("sla: percentile %v outside [0,1)", g.Percentile)
+	}
+	return nil
+}
+
+// Met reports whether an observed response time satisfies the goal.
+// For percentile goals, rt should be the observed response time at the
+// goal percentile.
+func (g Goal) Met(rt float64) bool { return rt <= g.MaxRT }
+
+// CostModel maps the study's two cost metrics onto a single monetary
+// scale — the cost-function extension §9.1 closes with ("the y-axis of
+// figure 7 could become a single cost axis").
+type CostModel struct {
+	// FailureCostPerPct is the cost of one percentage point of average
+	// SLA failures.
+	FailureCostPerPct float64
+	// UsageCostPerPct is the cost of one percentage point of average
+	// server usage.
+	UsageCostPerPct float64
+}
+
+// Validate reports the first structural problem with the cost model.
+func (c CostModel) Validate() error {
+	if c.FailureCostPerPct < 0 || c.UsageCostPerPct < 0 {
+		return errors.New("sla: costs must be non-negative")
+	}
+	if c.FailureCostPerPct == 0 && c.UsageCostPerPct == 0 {
+		return errors.New("sla: cost model is all zeros")
+	}
+	return nil
+}
+
+// Cost combines average SLA-failure and server-usage percentages into
+// a single cost figure.
+func (c CostModel) Cost(avgFailPct, avgUsagePct float64) float64 {
+	return c.FailureCostPerPct*avgFailPct + c.UsageCostPerPct*avgUsagePct
+}
+
+// Tracker accumulates served/rejected client counts per service class
+// and produces the study's %-SLA-failure metric.
+type Tracker struct {
+	served   map[string]int
+	rejected map[string]int
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{served: make(map[string]int), rejected: make(map[string]int)}
+}
+
+// Serve records n clients of the class as served within goals.
+func (t *Tracker) Serve(class string, n int) { t.served[class] += n }
+
+// Reject records n clients of the class as rejected (SLA failures).
+func (t *Tracker) Reject(class string, n int) { t.rejected[class] += n }
+
+// FailurePct returns the percentage of all clients rejected.
+func (t *Tracker) FailurePct() float64 {
+	var s, r int
+	for _, n := range t.served {
+		s += n
+	}
+	for _, n := range t.rejected {
+		r += n
+	}
+	if s+r == 0 {
+		return 0
+	}
+	return 100 * float64(r) / float64(s+r)
+}
+
+// ClassServed returns the number of the class's clients served.
+func (t *Tracker) ClassServed(class string) int { return t.served[class] }
+
+// ClassRejected returns the number of the class's clients rejected.
+func (t *Tracker) ClassRejected(class string) int { return t.rejected[class] }
+
+// ClassFailurePct returns the percentage of the class's clients
+// rejected.
+func (t *Tracker) ClassFailurePct(class string) float64 {
+	s, r := t.served[class], t.rejected[class]
+	if s+r == 0 {
+		return 0
+	}
+	return 100 * float64(r) / float64(s+r)
+}

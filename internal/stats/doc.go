@@ -1,0 +1,10 @@
+// Package stats provides the statistical substrate shared by the
+// prediction methods: least-squares curve fitting (linear, exponential
+// and power-law trend lines), summary statistics with online
+// accumulation, percentile estimation and the predictive-accuracy
+// metric used throughout the paper's evaluation.
+//
+// The historical method (internal/hist) fits its relationships with
+// these routines; the experiment harness (internal/bench) scores every
+// prediction with Accuracy.
+package stats

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Accumulator collects samples online using Welford's algorithm, so a
+// simulation run can stream millions of response-time samples without
+// retaining them. The zero value is ready to use.
+type Accumulator struct {
+	n        int
+	mean     float64
+	m2       float64
+	min, max float64
+	sum      float64
+}
+
+// Add records one sample.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.sum += x
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// Count returns the number of samples recorded.
+func (a *Accumulator) Count() int { return a.n }
+
+// Sum returns the total of all samples.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Mean returns the sample mean, or 0 when no samples have been added.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance, or 0 with fewer than
+// two samples.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest sample, or 0 when empty.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample, or 0 when empty.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Merge folds the samples of b into a, as if every sample added to b
+// had been added to a. It lets per-worker accumulators be combined
+// after a parallel simulation run.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	mean := a.mean + d*float64(b.n)/float64(n)
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.mean = mean
+	a.sum += b.sum
+	a.n = n
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}
+
+// MeanCI returns the sample mean and the half-width of its normal
+// confidence interval at the given confidence level (0.90, 0.95 or
+// 0.99; other levels fall back to 0.95). With fewer than two samples
+// the half-width is 0. Experiments use it to report accuracy spread
+// across replicated seeds.
+func (a *Accumulator) MeanCI(level float64) (mean, halfWidth float64) {
+	mean = a.Mean()
+	if a.n < 2 {
+		return mean, 0
+	}
+	var z float64
+	switch level {
+	case 0.90:
+		z = 1.645
+	case 0.99:
+		z = 2.576
+	default:
+		z = 1.960
+	}
+	return mean, z * a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of xs using
+// linear interpolation between order statistics. It copies and sorts,
+// leaving xs unmodified. An empty slice yields 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

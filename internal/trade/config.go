@@ -1,0 +1,225 @@
+// Package trade is the discrete-event reconstruction of the paper's
+// measurement testbed: the IBM Trade benchmark deployed on WebSphere
+// application servers with a DB2 database server, driven by closed
+// JMeter-style client populations. It produces the "measured"
+// response times, throughputs and utilisations against which the
+// historical, layered queuing and hybrid predictions are scored.
+//
+// The queuing structure follows the paper's system model (§2): each
+// application server has a FIFO waiting queue and processes up to 50
+// requests at the same time via time-sharing; the database server has
+// one FIFO queue per application server and time-shares up to 20
+// requests. A request holds its application-server slot across its
+// synchronous database calls (the servlet-thread semantics of the
+// WebSphere platform). The §7.2 caching extension is modelled with a
+// genuine LRU over per-client session data, so cache behaviour emerges
+// from the simulation rather than from a formula.
+package trade
+
+import (
+	"errors"
+	"fmt"
+
+	"perfpred/internal/workload"
+)
+
+// CacheConfig enables the §7.2 indirect-persistence variant, in which
+// the application server's main memory caches per-client session data:
+// a request that misses the cache pays an extra database call to read
+// its session back.
+type CacheConfig struct {
+	// SizeBytes is the memory available for session data.
+	SizeBytes int64
+	// SessionBytesMean is the mean per-client session size;
+	// per-client sizes are sampled exponentially around it, giving the
+	// variable session-size distribution the paper describes.
+	SessionBytesMean float64
+	// MissExtraDBCalls is the number of additional database calls a
+	// cache miss costs (1 in the paper: one session read).
+	MissExtraDBCalls float64
+	// MissDBTimePerCall overrides the request type's per-call database
+	// time for the session read; 0 means use the request type's value.
+	MissDBTimePerCall float64
+}
+
+// Validate reports the first structural problem with the cache
+// configuration.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.SizeBytes <= 0:
+		return errors.New("trade: cache size must be positive")
+	case c.SessionBytesMean <= 0:
+		return errors.New("trade: session size mean must be positive")
+	case c.MissExtraDBCalls < 0:
+		return errors.New("trade: miss extra db calls must be non-negative")
+	case c.MissDBTimePerCall < 0:
+		return errors.New("trade: miss db time must be non-negative")
+	}
+	return nil
+}
+
+// RoutingPolicy selects how the workload manager routes requests
+// across the application-server tier (§2).
+type RoutingPolicy string
+
+const (
+	// RouteSticky assigns each client a home server at start-up,
+	// spreading clients in proportion to server speed — the division a
+	// workload manager makes from the speed benchmarks. This is the
+	// default and the single-server behaviour.
+	RouteSticky RoutingPolicy = "sticky"
+	// RouteRoundRobin routes each request to the next server in turn,
+	// ignoring speed differences.
+	RouteRoundRobin RoutingPolicy = "roundrobin"
+	// RouteLeastBusy routes each request to the server with the
+	// fewest held-plus-waiting threads (join-the-shortest-queue).
+	RouteLeastBusy RoutingPolicy = "leastbusy"
+)
+
+// CriticalSectionConfig describes the §8.1 implicit bottleneck.
+type CriticalSectionConfig struct {
+	// MeanTime is the mean (exponential) CPU time spent holding the
+	// lock, seconds at reference speed.
+	MeanTime float64
+	// Fraction is the probability a request enters the section.
+	Fraction float64
+}
+
+// Validate reports the first structural problem.
+func (c CriticalSectionConfig) Validate() error {
+	if c.MeanTime <= 0 {
+		return errors.New("trade: critical section needs positive mean time")
+	}
+	if c.Fraction <= 0 || c.Fraction > 1 {
+		return fmt.Errorf("trade: critical-section fraction %v outside (0,1]", c.Fraction)
+	}
+	return nil
+}
+
+// Config describes one measurement run: an application-server tier
+// (one server by default) plus the shared database server under a
+// closed multi-class workload, matching how the paper benchmarks each
+// architecture and models each hosted application.
+type Config struct {
+	// Server is the single application server; ignored when Servers is
+	// set.
+	Server workload.ServerArch
+	// Servers, when non-empty, defines a multi-server application tier
+	// (the paper's "tier of application servers accessing a single
+	// database server", §2). Each server keeps its own FIFO queue at
+	// the database.
+	Servers []workload.ServerArch
+	// Routing selects the workload-manager policy for multi-server
+	// tiers; empty means RouteSticky.
+	Routing RoutingPolicy
+	DB      workload.DBServer
+	Demands map[workload.RequestType]workload.Demand
+	Load    workload.Workload
+
+	// Seed fixes all random streams; equal seeds give identical runs.
+	Seed int64
+	// WarmUp is the simulated time (seconds) discarded before
+	// measurement starts (the paper uses a 1-minute warm-up).
+	WarmUp float64
+	// Duration is the simulated measurement window (seconds).
+	Duration float64
+	// MaxRTSamples bounds the per-class response-time sample buffers
+	// used for percentile estimation (reservoir sampling beyond it).
+	// 0 means DefaultMaxRTSamples.
+	MaxRTSamples int
+
+	// Cache, when non-nil, enables the §7.2 session-cache variant.
+	Cache *CacheConfig
+
+	// CriticalSection, when non-nil, adds an §8.1-style implicit
+	// bottleneck: a fraction of requests must hold a per-server global
+	// lock while executing a code section, creating a serialisation
+	// queue no explicit model declares. The historical method absorbs
+	// it from measurements; the layered method needs the queue
+	// profiled and added to its model.
+	CriticalSection *CriticalSectionConfig
+
+	// DetailedOperations switches single-type classes from the coarse
+	// request-type model to the §3.1 operation level: browse clients
+	// randomly select among Trade's read operations and buy clients
+	// run register/login → 10 buys → logoff sessions with a growing
+	// portfolio. Aggregate demands match the coarse model, and the
+	// result gains per-operation measurements.
+	DetailedOperations bool
+}
+
+// DefaultMaxRTSamples bounds percentile sample buffers by default.
+const DefaultMaxRTSamples = 200000
+
+// tier returns the application-server tier: Servers when set,
+// otherwise the single Server.
+func (c Config) tier() []workload.ServerArch {
+	if len(c.Servers) > 0 {
+		return c.Servers
+	}
+	return []workload.ServerArch{c.Server}
+}
+
+// Validate reports the first structural problem with the run
+// configuration.
+func (c Config) Validate() error {
+	seen := make(map[string]bool)
+	for _, s := range c.tier() {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("trade: duplicate server name %q in tier (names must be unique)", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	switch c.Routing {
+	case "", RouteSticky, RouteRoundRobin, RouteLeastBusy:
+	default:
+		return fmt.Errorf("trade: unknown routing policy %q", c.Routing)
+	}
+	if err := c.DB.Validate(); err != nil {
+		return err
+	}
+	if len(c.Demands) == 0 {
+		return errors.New("trade: no request-type demands configured")
+	}
+	for rt, d := range c.Demands {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("trade: demand for %q: %w", rt, err)
+		}
+	}
+	if err := c.Load.Validate(); err != nil {
+		return err
+	}
+	hasOpen := false
+	for _, p := range c.Load {
+		if p.Open() {
+			hasOpen = true
+		}
+	}
+	if c.Load.TotalClients() == 0 && !hasOpen {
+		return errors.New("trade: workload has no clients or open streams")
+	}
+	for _, p := range c.Load {
+		for rt := range p.Class.Mix {
+			if _, ok := c.Demands[rt]; !ok {
+				return fmt.Errorf("trade: class %q uses request type %q with no demand", p.Class.Name, rt)
+			}
+		}
+	}
+	if c.WarmUp < 0 || c.Duration <= 0 {
+		return errors.New("trade: need non-negative warm-up and positive duration")
+	}
+	if c.Cache != nil {
+		if err := c.Cache.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.CriticalSection != nil {
+		if err := c.CriticalSection.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package trade
+
+import (
+	"fmt"
+	"math"
+
+	"perfpred/internal/workload"
+)
+
+// MeasureOptions tunes the benchmarking helpers. Zero values select
+// defaults suitable for the case study.
+type MeasureOptions struct {
+	Seed     int64
+	WarmUp   float64 // seconds, default 60 (the paper's 1-minute warm-up)
+	Duration float64 // seconds, default 240
+}
+
+func (o MeasureOptions) withDefaults() MeasureOptions {
+	if o.WarmUp == 0 {
+		o.WarmUp = 60
+	}
+	if o.Duration == 0 {
+		o.Duration = 240
+	}
+	return o
+}
+
+// baseConfig assembles a measurement run for the case-study database
+// and demand tables.
+func baseConfig(server workload.ServerArch, load workload.Workload, opt MeasureOptions) Config {
+	opt = opt.withDefaults()
+	return Config{
+		Server:   server,
+		DB:       workload.CaseStudyDB(),
+		Demands:  workload.CaseStudyDemands(),
+		Load:     load,
+		Seed:     opt.Seed,
+		WarmUp:   opt.WarmUp,
+		Duration: opt.Duration,
+	}
+}
+
+// Measure runs one measurement of the given server under the given
+// workload with case-study demands.
+func Measure(server workload.ServerArch, load workload.Workload, opt MeasureOptions) (*Result, error) {
+	return Run(baseConfig(server, load, opt))
+}
+
+// MaxThroughput benchmarks the server's max throughput under the given
+// workload shape — the paper's supporting service for calibrating new
+// server architectures (§2). It loads the server far past saturation
+// (about twice the saturation population) and reports the plateau
+// throughput in requests/second.
+func MaxThroughput(server workload.ServerArch, mixBuyFraction float64, opt MeasureOptions) (float64, error) {
+	// Estimate the saturation population from the speed benchmark and
+	// think time, then double it.
+	think := workload.ThinkTimeMean
+	estMax := server.Speed * workload.MaxThroughputF
+	clients := int(2 * estMax * think)
+	if clients < 50 {
+		clients = 50
+	}
+	var load workload.Workload
+	if mixBuyFraction <= 0 {
+		load = workload.TypicalWorkload(clients)
+	} else {
+		load = workload.MixedWorkload(clients, mixBuyFraction)
+	}
+	res, err := Measure(server, load, opt)
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput, nil
+}
+
+// CurvePoint is one (clients, measurement) sample of a scalability
+// curve.
+type CurvePoint struct {
+	Clients int
+	Res     *Result
+}
+
+// MeasureCurve sweeps the client population and measures each point,
+// producing the "measured" series of the paper's figure 2.
+func MeasureCurve(server workload.ServerArch, clientCounts []int, buyFraction float64, opt MeasureOptions) ([]CurvePoint, error) {
+	points := make([]CurvePoint, 0, len(clientCounts))
+	for _, n := range clientCounts {
+		if n <= 0 {
+			return nil, fmt.Errorf("trade: invalid client count %d", n)
+		}
+		var load workload.Workload
+		if buyFraction <= 0 {
+			load = workload.TypicalWorkload(n)
+		} else {
+			load = workload.MixedWorkload(n, buyFraction)
+		}
+		res, err := Measure(server, load, opt)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, CurvePoint{Clients: n, Res: res})
+	}
+	return points, nil
+}
+
+// SaturationClients estimates the client population at which the
+// server reaches max throughput, from the benchmark and think time:
+// N* ≈ Xmax × (Z + R₀) with R₀ the light-load response time. It is the
+// population the historical method's lower/upper split keys on.
+func SaturationClients(maxThroughput, thinkTime, lightLoadRT float64) int {
+	return int(math.Ceil(maxThroughput * (thinkTime + lightLoadRT)))
+}

@@ -1,0 +1,543 @@
+package trade
+
+import (
+	"math"
+
+	"perfpred/internal/sim"
+	"perfpred/internal/stats"
+	"perfpred/internal/workload"
+)
+
+// appServer is one member of the application tier: a servlet thread
+// pool, a time-shared CPU and (in the §7.2 variant) a session cache in
+// its own main memory.
+type appServer struct {
+	arch      workload.ServerArch
+	slots     *sim.Semaphore
+	cpu       *sim.Station
+	cache     *lruCache
+	csLock    *sim.Semaphore // §8.1 critical-section mutex (nil unless enabled)
+	completed uint64
+}
+
+// simulator wires the application-server tier and the database server
+// into a closed multi-class network and drives the client populations.
+// The workload-manager routing of the paper's §2 decides which server
+// each request visits; the database server keeps one FIFO queue per
+// application server (sim.PerSourceFIFO keyed by server index).
+type simulator struct {
+	cfg  Config
+	eng  *sim.Engine
+	apps []*appServer
+
+	dbSlots *sim.Semaphore // db agent pool, per-app-server FIFO
+	dbCPU   *sim.Station   // time-shared db CPU/disk
+
+	think  *sim.Stream
+	serve  *sim.Stream
+	choose *sim.Stream
+	route  *sim.Stream
+
+	rrNext       int
+	sessionBytes map[int]int64
+
+	measuring bool
+	acc       map[string]*classAcc
+	ops       *opAccumulators
+	opAccRNG  *sim.Stream
+}
+
+type classAcc struct {
+	rt        stats.Accumulator
+	samples   []float64
+	seen      int
+	maxSample int
+	rng       *sim.Stream // reservoir sampling stream
+}
+
+func (a *classAcc) record(rt float64) {
+	a.rt.Add(rt)
+	a.seen++
+	if len(a.samples) < a.maxSample {
+		a.samples = append(a.samples, rt)
+		return
+	}
+	// Reservoir sampling keeps an unbiased percentile estimate with
+	// bounded memory on very long runs.
+	if idx := a.rng.Intn(a.seen); idx < a.maxSample {
+		a.samples[idx] = rt
+	}
+}
+
+// client is one closed-loop request generator. home is the application
+// server a sticky workload manager assigned it to (-1 when requests
+// are routed dynamically).
+type client struct {
+	id      int
+	class   workload.ServiceClass
+	home    int
+	session *buySession // non-nil for detailed buy clients
+}
+
+// buySession tracks a detailed buy client's place in its
+// register → buys → logoff cycle and its growing portfolio (§3.1).
+type buySession struct {
+	phase    int // 0 register, 1 buying, 2 logoff
+	buysLeft int
+	holdings int
+}
+
+// Run simulates the configured measurement and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxRTSamples == 0 {
+		cfg.MaxRTSamples = DefaultMaxRTSamples
+	}
+	eng := sim.NewEngine()
+	root := sim.NewStream(cfg.Seed)
+	s := &simulator{
+		cfg:     cfg,
+		eng:     eng,
+		dbSlots: sim.NewSemaphore(eng, cfg.DB.Name+"/agents", cfg.DB.MPL, sim.PerSourceFIFO),
+		dbCPU:   sim.NewStation(eng, cfg.DB.Name+"/cpu", cfg.DB.Speed, 0, sim.GlobalFIFO),
+		think:   root.Derive(1),
+		serve:   root.Derive(2),
+		choose:  root.Derive(3),
+		route:   root.Derive(5),
+		acc:     make(map[string]*classAcc),
+	}
+	for _, arch := range cfg.tier() {
+		app := &appServer{
+			arch:  arch,
+			slots: sim.NewSemaphore(eng, arch.Name+"/threads", arch.MPL, sim.GlobalFIFO),
+			cpu:   sim.NewStation(eng, arch.Name+"/cpu", arch.Speed, 0, sim.GlobalFIFO),
+		}
+		if cfg.Cache != nil {
+			app.cache = newLRUCache(cfg.Cache.SizeBytes)
+		}
+		if cfg.CriticalSection != nil {
+			app.csLock = sim.NewSemaphore(eng, arch.Name+"/critsec", 1, sim.GlobalFIFO)
+		}
+		s.apps = append(s.apps, app)
+	}
+	if cfg.Cache != nil {
+		s.sessionBytes = make(map[int]int64)
+	}
+	if cfg.DetailedOperations {
+		s.ops = newOpAccumulators(cfg.MaxRTSamples)
+		s.opAccRNG = root.Derive(7)
+	}
+	sampleRNG := root.Derive(4)
+	arrivals := root.Derive(6)
+	id := 0
+	for _, pop := range cfg.Load {
+		s.acc[pop.Class.Name] = &classAcc{maxSample: cfg.MaxRTSamples, rng: sampleRNG.Derive(uint64(len(s.acc)))}
+		if pop.Open() {
+			// Open stream (§8.1): Poisson arrivals at a constant rate,
+			// each an independent request with no think loop and no
+			// session identity.
+			s.startOpenStream(pop, arrivals.Derive(uint64(len(s.acc))))
+			continue
+		}
+		for i := 0; i < pop.Clients; i++ {
+			c := &client{id: id, class: pop.Class, home: -1}
+			if cfg.Routing == RouteSticky || cfg.Routing == "" {
+				c.home = s.assignSticky()
+			}
+			if cfg.DetailedOperations && pop.Class.Mix.Fraction(workload.Buy) == 1 {
+				c.session = &buySession{}
+			}
+			id++
+			if s.sessionBytes != nil {
+				size := int64(s.serve.Exp(cfg.Cache.SessionBytesMean))
+				if size < 1 {
+					size = 1
+				}
+				s.sessionBytes[c.id] = size
+			}
+			// Stagger initial arrivals across one think time so the
+			// run does not start with a synchronized burst.
+			eng.Schedule(s.think.Exp(pop.Class.ThinkTimeMean), func() { s.issueRequest(c) })
+		}
+	}
+	// Warm up, reset statistics, then measure.
+	eng.Run(cfg.WarmUp, 0)
+	s.resetStats()
+	s.measuring = true
+	eng.Run(cfg.WarmUp+cfg.Duration, 0)
+	return s.collect(), nil
+}
+
+// startOpenStream schedules Poisson arrivals for an open population.
+// Each arrival routes like a dynamic request (sticky policies fall
+// back to speed-weighted random choice — an arrival has no home
+// server) and bypasses the session cache, which models per-client
+// state that open requests do not carry.
+func (s *simulator) startOpenStream(pop workload.Population, rng *sim.Stream) {
+	mean := 1 / pop.ArrivalRate
+	var arrive func()
+	arrive = func() {
+		s.eng.Schedule(rng.Exp(mean), arrive)
+		demand := s.cfg.Demands[s.pickRequestType(pop.Class)]
+		arrival := s.eng.Now()
+		srv := s.pickServerOpen()
+		app := s.apps[srv]
+		app.slots.Acquire(0, func() {
+			s.processOpenRequest(srv, demand, func() {
+				app.slots.Release()
+				if s.measuring {
+					s.acc[pop.Class.Name].record(s.eng.Now() - arrival)
+					app.completed++
+				}
+			})
+		})
+	}
+	s.eng.Schedule(rng.Exp(mean), arrive)
+}
+
+// pickServerOpen routes an open arrival: dynamic policies apply as-is;
+// sticky falls back to speed-weighted random selection.
+func (s *simulator) pickServerOpen() int {
+	switch s.cfg.Routing {
+	case RouteRoundRobin, RouteLeastBusy:
+		return s.pickServer(&client{home: 0})
+	default:
+		return s.assignSticky()
+	}
+}
+
+// processOpenRequest is processRequest without session-cache handling.
+func (s *simulator) processOpenRequest(srv int, d workload.Demand, done func()) {
+	app := s.apps[srv]
+	dbCalls := s.sampleCalls(d.DBCallsPerRequest)
+	totalCPU := s.serve.Exp(d.AppServerTime)
+	segment := totalCPU / float64(dbCalls+1)
+	var step func(remaining int)
+	step = func(remaining int) {
+		app.cpu.Submit(0, segment, func() {
+			if remaining == 0 {
+				done()
+				return
+			}
+			s.dbSlots.Acquire(srv, func() {
+				s.dbCPU.Submit(srv, s.serve.Exp(d.DBTimePerCall), func() {
+					s.dbSlots.Release()
+					if d.DBLatencyPerCall > 0 {
+						s.eng.Schedule(s.serve.Exp(d.DBLatencyPerCall), func() { step(remaining - 1) })
+						return
+					}
+					step(remaining - 1)
+				})
+			})
+		})
+	}
+	step(dbCalls)
+}
+
+// assignSticky spreads clients across the tier in proportion to server
+// speed, the division a workload manager would make from the speed
+// benchmarks.
+func (s *simulator) assignSticky() int {
+	if len(s.apps) == 1 {
+		return 0
+	}
+	weights := make([]float64, len(s.apps))
+	for i, app := range s.apps {
+		weights[i] = app.arch.Speed
+	}
+	return s.route.Choose(weights)
+}
+
+// pickServer routes one request per the configured policy.
+func (s *simulator) pickServer(c *client) int {
+	switch s.cfg.Routing {
+	case RouteRoundRobin:
+		i := s.rrNext % len(s.apps)
+		s.rrNext++
+		return i
+	case RouteLeastBusy:
+		best, bestLoad := 0, math.MaxInt
+		for i, app := range s.apps {
+			load := app.slots.Held() + app.slots.Queued()
+			if load < bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+		return best
+	default: // RouteSticky
+		return c.home
+	}
+}
+
+func (s *simulator) resetStats() {
+	for _, app := range s.apps {
+		app.cpu.ResetStats()
+		app.slots.ResetStats()
+		app.completed = 0
+		if app.cache != nil {
+			app.cache.resetStats()
+		}
+	}
+	s.dbCPU.ResetStats()
+	s.dbSlots.ResetStats()
+}
+
+// issueRequest begins one request: pick the operation (or coarse
+// request type) for this client, route it to an application server,
+// queue for a thread, process, respond, then think and repeat.
+func (s *simulator) issueRequest(c *client) {
+	demand, opName := s.nextRequest(c)
+	arrival := s.eng.Now()
+	srv := s.pickServer(c)
+	app := s.apps[srv]
+	app.slots.Acquire(0, func() {
+		s.processRequest(c, srv, demand, func() {
+			app.slots.Release()
+			if s.measuring {
+				rt := s.eng.Now() - arrival
+				s.acc[c.class.Name].record(rt)
+				if s.ops != nil && opName != "" {
+					s.ops.record(opName, rt, func() *classAcc {
+						return &classAcc{maxSample: s.cfg.MaxRTSamples, rng: s.opAccRNG.Derive(uint64(len(s.ops.byName)))}
+					})
+				}
+				app.completed++
+			}
+			s.eng.Schedule(s.think.Exp(c.class.ThinkTimeMean), func() { s.issueRequest(c) })
+		})
+	})
+}
+
+// nextRequest resolves the client's next request to a demand and,
+// under DetailedOperations, the Trade operation behind it.
+func (s *simulator) nextRequest(c *client) (workload.Demand, string) {
+	rt := s.pickRequestType(c.class)
+	d := s.cfg.Demands[rt]
+	if !s.cfg.DetailedOperations {
+		return d, ""
+	}
+	if c.session != nil {
+		return s.nextBuyOperation(c, d)
+	}
+	if c.class.Mix.Fraction(workload.Browse) == 1 {
+		ops := BrowseOperations()
+		weights := make([]float64, len(ops))
+		for i, op := range ops {
+			weights[i] = op.Weight
+		}
+		op := ops[s.choose.Choose(weights)]
+		return applyOperation(d, op), op.Name
+	}
+	return d, ""
+}
+
+// nextBuyOperation advances the client's buy session: register/login,
+// a run of buys with a growing portfolio, then logoff (§3.1).
+func (s *simulator) nextBuyOperation(c *client, d workload.Demand) (workload.Demand, string) {
+	sess := c.session
+	register, buyOp, logoff := BuySessionOperations()
+	switch sess.phase {
+	case 0:
+		sess.phase = 1
+		sess.buysLeft = workload.BuyRequestsPerSession
+		sess.holdings = 0
+		return applyOperation(d, register), register.Name
+	case 1:
+		scaled := applyOperation(d, buyOp)
+		scaled.AppServerTime *= portfolioScale(sess.holdings)
+		sess.holdings++
+		sess.buysLeft--
+		if sess.buysLeft == 0 {
+			sess.phase = 2
+		}
+		return scaled, buyOp.Name
+	default:
+		sess.phase = 0
+		return applyOperation(d, logoff), logoff.Name
+	}
+}
+
+// applyOperation specialises a request type's demand for one
+// operation.
+func applyOperation(d workload.Demand, op Operation) workload.Demand {
+	out := d
+	out.AppServerTime = d.AppServerTime * op.DemandScale
+	if op.DBCalls > 0 {
+		out.DBCallsPerRequest = op.DBCalls
+	}
+	return out
+}
+
+func (s *simulator) pickRequestType(class workload.ServiceClass) workload.RequestType {
+	if len(class.Mix) == 1 {
+		for rt := range class.Mix {
+			return rt
+		}
+	}
+	types := make([]workload.RequestType, 0, len(class.Mix))
+	weights := make([]float64, 0, len(class.Mix))
+	for _, rt := range orderedTypes(class.Mix) {
+		types = append(types, rt)
+		weights = append(weights, class.Mix[rt])
+	}
+	return types[s.choose.Choose(weights)]
+}
+
+// orderedTypes returns map keys in a fixed order so runs are
+// deterministic for a given seed.
+func orderedTypes(m workload.Mix) []workload.RequestType {
+	out := make([]workload.RequestType, 0, len(m))
+	for rt := range m {
+		out = append(out, rt)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// processRequest runs the request's service demand as CPU bursts
+// interleaved with synchronous database calls, holding the
+// application-server thread throughout — the WebSphere servlet
+// semantics the paper's layered model captures with nested service.
+// Database calls queue in the server's own FIFO at the database (§2).
+func (s *simulator) processRequest(c *client, srv int, d workload.Demand, done func()) {
+	app := s.apps[srv]
+	dbCalls := s.sampleCalls(d.DBCallsPerRequest)
+	dbTime := d.DBTimePerCall
+	if app.cache != nil {
+		size := s.sessionBytes[c.id]
+		if !app.cache.touch(c.id, size) {
+			extra := s.sampleCalls(s.cfg.Cache.MissExtraDBCalls)
+			dbCalls += extra
+		}
+	}
+	totalCPU := s.serve.Exp(d.AppServerTime) // reference-scale demand; CPU speed scales service
+	segments := dbCalls + 1
+	segment := totalCPU / float64(segments)
+	var step func(remainingCalls int)
+	enter := func() { step(dbCalls) }
+	if cs := s.cfg.CriticalSection; cs != nil && s.serve.Float64() < cs.Fraction {
+		// The request must hold the server-global lock while executing
+		// the protected section — the implicit queue of §8.1.
+		inner := enter
+		enter = func() {
+			app.csLock.Acquire(0, func() {
+				app.cpu.Submit(0, s.serve.Exp(cs.MeanTime), func() {
+					app.csLock.Release()
+					inner()
+				})
+			})
+		}
+	}
+	step = func(remainingCalls int) {
+		app.cpu.Submit(0, segment, func() {
+			if remainingCalls == 0 {
+				done()
+				return
+			}
+			perCall := dbTime
+			if app.cache != nil && s.cfg.Cache.MissDBTimePerCall > 0 {
+				// The session read uses the configured miss cost; the
+				// request's own calls keep their type's cost. Using
+				// the max keeps the model simple while preserving the
+				// extra-work effect.
+				perCall = math.Max(dbTime, s.cfg.Cache.MissDBTimePerCall)
+			}
+			s.dbSlots.Acquire(srv, func() {
+				s.dbCPU.Submit(srv, s.serve.Exp(perCall), func() {
+					s.dbSlots.Release()
+					if d.DBLatencyPerCall > 0 {
+						// Pure per-call latency (disk/network): the
+						// thread waits it out off-CPU.
+						s.eng.Schedule(s.serve.Exp(d.DBLatencyPerCall), func() { step(remainingCalls - 1) })
+						return
+					}
+					step(remainingCalls - 1)
+				})
+			})
+		})
+	}
+	enter()
+}
+
+// sampleCalls draws an integer call count with the given mean:
+// floor(mean) plus a Bernoulli trial on the fractional part, the
+// standard way to realise the paper's fractional "1.14 database
+// requests on average".
+func (s *simulator) sampleCalls(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	base := int(mean)
+	frac := mean - float64(base)
+	if frac > 0 && s.serve.Float64() < frac {
+		base++
+	}
+	return base
+}
+
+func (s *simulator) collect() *Result {
+	res := &Result{
+		PerClass: make(map[string]ClassResult, len(s.acc)),
+		Duration: s.cfg.Duration,
+	}
+	var speedSum, utilSum, heldSum, queueSum float64
+	var hits, misses uint64
+	for _, app := range s.apps {
+		u := app.cpu.Utilization()
+		res.PerServer = append(res.PerServer, ServerResult{
+			Name:          app.arch.Name,
+			Utilization:   u,
+			MeanSlotsHeld: app.slots.MeanHeld(),
+			Completed:     int(app.completed),
+			Throughput:    float64(app.completed) / s.cfg.Duration,
+		})
+		speedSum += app.arch.Speed
+		utilSum += u * app.arch.Speed
+		heldSum += app.slots.MeanHeld()
+		queueSum += app.slots.MeanQueued()
+		if app.cache != nil {
+			hits += app.cache.hits
+			misses += app.cache.misses
+		}
+	}
+	// Tier-level utilisation is the speed-weighted mean: the fraction
+	// of the tier's total processing capacity in use.
+	if speedSum > 0 {
+		res.AppUtilization = utilSum / speedSum
+	}
+	res.MeanAppSlotsHeld = heldSum
+	res.MeanAppQueue = queueSum
+	res.DBUtilization = s.dbCPU.Utilization()
+	if hits+misses > 0 {
+		res.CacheMissRate = float64(misses) / float64(hits+misses)
+	}
+	var totalWeighted float64
+	totalCompleted := 0
+	for name, acc := range s.acc {
+		cr := ClassResult{
+			Class:      name,
+			Completed:  acc.rt.Count(),
+			MeanRT:     acc.rt.Mean(),
+			RTStdDev:   acc.rt.StdDev(),
+			Throughput: float64(acc.rt.Count()) / s.cfg.Duration,
+			Samples:    acc.samples,
+		}
+		res.PerClass[name] = cr
+		totalWeighted += cr.MeanRT * float64(cr.Completed)
+		totalCompleted += cr.Completed
+	}
+	if totalCompleted > 0 {
+		res.MeanRT = totalWeighted / float64(totalCompleted)
+	}
+	res.Throughput = float64(totalCompleted) / s.cfg.Duration
+	if s.ops != nil {
+		res.PerOperation = s.ops.results()
+	}
+	return res
+}

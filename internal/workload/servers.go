@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ServerArch describes an application-server architecture. The
+// prediction methods never see physical hardware — only the relative
+// request-processing speed and the max-throughput benchmark that the
+// paper's supporting services provide (§2: "allowing
+// application-specific benchmarks to be run on new server
+// architectures so as to calibrate their request processing speeds").
+type ServerArch struct {
+	// Name labels the architecture (AppServS/AppServF/AppServVF in the
+	// case study).
+	Name string
+	// Speed is the request-processing speed relative to the reference
+	// architecture (AppServF = 1.0).
+	Speed float64
+	// MPL is the number of requests the server processes at the same
+	// time via time-sharing (50 in the case study).
+	MPL int
+	// MaxThroughputTypical is the benchmarked max throughput under the
+	// typical (all-browse) workload, requests/second. This is the
+	// supporting-service measurement every method keys on.
+	MaxThroughputTypical float64
+	// Established marks architectures with historical data available;
+	// predictions for non-established ("new") architectures are the
+	// paper's headline use case.
+	Established bool
+}
+
+// Validate reports the first structural problem with the architecture.
+func (a ServerArch) Validate() error {
+	switch {
+	case a.Name == "":
+		return errors.New("workload: server arch needs a name")
+	case a.Speed <= 0:
+		return fmt.Errorf("workload: server %q needs positive speed", a.Name)
+	case a.MPL <= 0:
+		return fmt.Errorf("workload: server %q needs positive MPL", a.Name)
+	case a.MaxThroughputTypical <= 0:
+		return fmt.Errorf("workload: server %q needs positive max throughput", a.Name)
+	}
+	return nil
+}
+
+// DBServer describes the shared database server of an application: a
+// time-sharing server with one FIFO queue per application server (§2).
+type DBServer struct {
+	Name  string
+	Speed float64
+	// MPL is the number of requests processed concurrently via
+	// time-sharing (20 in the case study).
+	MPL int
+}
+
+// Validate reports the first structural problem with the database
+// server.
+func (d DBServer) Validate() error {
+	switch {
+	case d.Name == "":
+		return errors.New("workload: db server needs a name")
+	case d.Speed <= 0:
+		return fmt.Errorf("workload: db server %q needs positive speed", d.Name)
+	case d.MPL <= 0:
+		return fmt.Errorf("workload: db server %q needs positive MPL", d.Name)
+	}
+	return nil
+}
