@@ -1,0 +1,24 @@
+# Verification tiers for the perfpred reproduction.
+#
+#   make test   — tier 1: build everything and run the full test suite.
+#   make race   — race tier: the concurrent Suite, worker pool and
+#                 event-core paths under the race detector (short).
+#   make bench  — the performance evidence: event-core micro-benchmarks
+#                 (flat allocation counts per event) and the
+#                 figure-scale sweep at 1 worker vs all cores.
+
+GO ?= go
+
+.PHONY: test race bench
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/parallel
+	$(GO) test -race -run 'TestSuiteConcurrent|TestSuiteParallelHybrid|TestFigure2ShapeHolds' ./internal/bench
+	$(GO) test -race -run 'TestEngine|TestStation|TestMeasureCurveParallel' ./internal/sim ./internal/trade
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedule|BenchmarkRunDrain|BenchmarkStationSubmit' -benchmem ./internal/sim
+	$(GO) test -run '^$$' -bench BenchmarkMeasureCurve -benchtime 2x ./internal/trade

@@ -1,43 +1,69 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
+	"perfpred/internal/parallel"
 	"perfpred/internal/trade"
 	"perfpred/internal/workload"
 )
 
 // measurement memoisation: the simulated testbed is deterministic for
-// a fixed seed, so repeated experiments reuse identical runs.
-var curveCache = map[string]*trade.Result{}
+// a fixed seed, so repeated experiments reuse identical runs. The
+// singleflight Memo makes the cache safe for the parallel sweeps —
+// concurrent requests for the same (arch, clients, mix, seed) cell
+// share one simulation instead of racing the map or running it twice.
+var curveCache parallel.Memo[string, *trade.Result]
 
 func measureCached(s *Suite, arch workload.ServerArch, clients int, buyFrac float64) (*trade.Result, error) {
 	key := fmt.Sprintf("%s/%d/%.4f/%d/%.0f/%.0f", arch.Name, clients, buyFrac, s.Opt.Seed, s.Opt.WarmUp, s.Opt.Duration)
-	if res, ok := curveCache[key]; ok {
-		return res, nil
-	}
-	var load workload.Workload
-	if buyFrac <= 0 {
-		load = workload.TypicalWorkload(clients)
-	} else {
-		load = workload.MixedWorkload(clients, buyFrac)
-	}
-	res, err := trade.Measure(arch, load, s.Opt)
-	if err != nil {
-		return nil, err
-	}
-	curveCache[key] = res
-	return res, nil
+	return curveCache.Do(key, func() (*trade.Result, error) {
+		var load workload.Workload
+		if buyFrac <= 0 {
+			load = workload.TypicalWorkload(clients)
+		} else {
+			load = workload.MixedWorkload(clients, buyFrac)
+		}
+		return trade.Measure(arch, load, s.Opt)
+	})
 }
 
 func measureCurveCached(s *Suite, arch workload.ServerArch, counts []int) ([]trade.CurvePoint, error) {
-	points := make([]trade.CurvePoint, 0, len(counts))
-	for _, n := range counts {
-		res, err := measureCached(s, arch, n, 0)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, trade.CurvePoint{Clients: n, Res: res})
+	results, err := parallel.Map(context.Background(), s.Opt.Workers, len(counts),
+		func(_ context.Context, i int) (*trade.Result, error) {
+			return measureCached(s, arch, counts[i], 0)
+		})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]trade.CurvePoint, len(counts))
+	for i, res := range results {
+		points[i] = trade.CurvePoint{Clients: counts[i], Res: res}
 	}
 	return points, nil
+}
+
+// measureCell identifies one simulated measurement of an experiment
+// grid: an architecture under a client population and buy mix.
+type measureCell struct {
+	arch    workload.ServerArch
+	clients int
+	buyFrac float64
+}
+
+// prefetchMeasurements warms the measurement cache for a whole
+// experiment grid on the suite's worker pool. Experiments call it with
+// every cell they are about to read and then assemble their tables
+// serially from cache hits, which keeps row order — and therefore
+// output bytes — identical to the serial path while the simulations
+// themselves run concurrently.
+func prefetchMeasurements(s *Suite, cells []measureCell) error {
+	_, err := parallel.Map(context.Background(), s.Opt.Workers, len(cells),
+		func(_ context.Context, i int) (struct{}, error) {
+			c := cells[i]
+			_, err := measureCached(s, c.arch, c.clients, c.buyFrac)
+			return struct{}{}, err
+		})
+	return err
 }

@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"context"
 	"strconv"
 
 	"perfpred/internal/hist"
 	"perfpred/internal/hybrid"
 	"perfpred/internal/lqn"
+	"perfpred/internal/parallel"
 	"perfpred/internal/stats"
 	"perfpred/internal/workload"
 )
@@ -26,6 +28,35 @@ func (s *Suite) Figure2() (*Table, error) {
 	}
 	hyb, err := s.Hybrid()
 	if err != nil {
+		return nil, err
+	}
+	// Fan the measurement grid out across the worker pool before the
+	// serial assembly below: calibrate every architecture's historical
+	// model concurrently (the memoised Suite shares the gradient and
+	// AppServF curve between them), then pre-run every (arch, clients)
+	// simulation cell. The assembly loop then reads pure cache hits, so
+	// rows, accuracies and output bytes are identical to the serial
+	// path for any worker count.
+	archs := workload.CaseStudyServers()
+	hms, err := parallel.Map(context.Background(), s.Opt.Workers, len(archs),
+		func(_ context.Context, i int) (*hist.ServerModel, error) {
+			return s.HistModelFor(archs[i])
+		})
+	if err != nil {
+		return nil, err
+	}
+	var cells []measureCell
+	for i, arch := range archs {
+		nStar := hms[i].SaturationClients()
+		for _, frac := range figure2Fractions {
+			n := int(frac * nStar)
+			if n < 1 {
+				n = 1
+			}
+			cells = append(cells, measureCell{arch: arch, clients: n})
+		}
+	}
+	if err := prefetchMeasurements(s, cells); err != nil {
 		return nil, err
 	}
 	type accAgg struct{ pred, act []float64 }
@@ -331,17 +362,35 @@ func (s *Suite) Figure4() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	var preds, acts []float64
-	for _, buyPct := range []float64{0, 10, 25} {
-		model := base
+	buyPcts := []float64{0, 10, 25}
+	fracs := []float64{0.3, 0.55, 1.25, 1.6}
+	models := make([]*hist.ServerModel, len(buyPcts))
+	for i, buyPct := range buyPcts {
+		models[i] = base
 		if buyPct > 0 {
-			model, err = rel3.ModelAtBuyPct(rel2, base, buyPct)
+			models[i], err = rel3.ModelAtBuyPct(rel2, base, buyPct)
 			if err != nil {
 				return nil, err
 			}
 		}
+	}
+	// Pre-run the whole (buy%, clients) grid on the worker pool; the
+	// assembly below reads cache hits in the original row order.
+	var cells []measureCell
+	for i, buyPct := range buyPcts {
+		nStar := models[i].SaturationClients()
+		for _, frac := range fracs {
+			cells = append(cells, measureCell{arch: workload.AppServS(), clients: int(frac * nStar), buyFrac: buyPct / 100})
+		}
+	}
+	if err := prefetchMeasurements(s, cells); err != nil {
+		return nil, err
+	}
+	var preds, acts []float64
+	for i, buyPct := range buyPcts {
+		model := models[i]
 		nStar := model.SaturationClients()
-		for _, frac := range []float64{0.3, 0.55, 1.25, 1.6} {
+		for _, frac := range fracs {
 			n := int(frac * nStar)
 			meas, err := measureCached(s, workload.AppServS(), n, buyPct/100)
 			if err != nil {

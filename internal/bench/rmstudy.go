@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"context"
 	"time"
 
+	"perfpred/internal/parallel"
 	"perfpred/internal/rm"
 	"perfpred/internal/workload"
 )
@@ -62,13 +64,15 @@ func (s *Suite) Figure5and6() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The three slack series are independent plan/evaluate sweeps over
+	// read-only predictors, so they run concurrently on the pool.
 	slacks := []float64{1.1, 1.0, 0.9}
-	series := make([][]rm.SweepPoint, len(slacks))
-	for i, slack := range slacks {
-		series[i], err = rm.SweepLoad(rm.CaseStudyShares(), servers, pred, truth, slack, studyLoads(), rm.Options{}, rm.EvalOptions{})
-		if err != nil {
-			return nil, err
-		}
+	series, err := parallel.Map(context.Background(), s.Opt.Workers, len(slacks),
+		func(_ context.Context, i int) ([]rm.SweepPoint, error) {
+			return rm.SweepLoad(rm.CaseStudyShares(), servers, pred, truth, slacks[i], studyLoads(), rm.Options{}, rm.EvalOptions{})
+		})
+	if err != nil {
+		return nil, err
 	}
 	for j, load := range studyLoads() {
 		t.AddRow(itoa(load),

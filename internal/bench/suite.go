@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"perfpred/internal/hist"
 	"perfpred/internal/hybrid"
 	"perfpred/internal/lqn"
+	"perfpred/internal/parallel"
 	"perfpred/internal/trade"
 	"perfpred/internal/workload"
 )
@@ -16,28 +18,37 @@ import (
 // demands, and the hybrid model. Everything is built lazily and
 // memoised, so one Suite can serve all tables and figures without
 // recalibrating.
+//
+// A Suite is safe for concurrent use: every memoised artefact sits
+// behind a singleflight (parallel.Memo / parallel.Once), so concurrent
+// figure generators share one calibration per key instead of racing or
+// recomputing, and a legitimately-zero cached value (the old
+// `if s.gradient != 0` bug) is never mistaken for "not yet computed".
+// Concurrency of the suite's own sweeps is governed by Opt.Workers.
 type Suite struct {
-	// Opt configures simulated measurements; LQNOpt the layered solver.
+	// Opt configures simulated measurements (including the sweep
+	// worker-pool size, Opt.Workers); LQNOpt the layered solver.
 	Opt    trade.MeasureOptions
 	LQNOpt lqn.Options
 
-	maxThroughput map[string]float64 // arch name -> measured Xmax (typical)
-	gradient      float64
-	histModels    map[string]*hist.ServerModel // established archs
-	rel2          *hist.Relationship2
-	histNew       *hist.ServerModel // AppServS via relationship 2
-	lqnDemands    map[workload.RequestType]workload.Demand
-	hybridModel   *hybrid.Model
-	laplaceScale  float64
+	maxThroughput parallel.Memo[string, float64] // arch name -> measured Xmax (typical)
+	gradient      parallel.Once[float64]
+	histModels    parallel.Memo[string, *hist.ServerModel] // established archs
+	rel2          parallel.Once[*hist.Relationship2]
+	histNew       parallel.Once[*hist.ServerModel] // AppServS via relationship 2
+	lqnDemands    parallel.Once[map[workload.RequestType]workload.Demand]
+	hybridModel   parallel.Once[*hybrid.Model]
+	laplaceScale  parallel.Once[float64]
 }
 
-// NewSuite returns a harness with the given measurement seed.
+// NewSuite returns a harness with the given measurement seed. The
+// zero Opt.Workers selects all cores for the suite's sweeps; set
+// Opt.Workers = 1 for the exact serial evaluation order (the results
+// are identical either way).
 func NewSuite(seed int64) *Suite {
 	return &Suite{
-		Opt:           trade.MeasureOptions{Seed: seed, WarmUp: 30, Duration: 120},
-		LQNOpt:        lqn.Options{Convergence: 1e-6},
-		maxThroughput: make(map[string]float64),
-		histModels:    make(map[string]*hist.ServerModel),
+		Opt:    trade.MeasureOptions{Seed: seed, WarmUp: 30, Duration: 120},
+		LQNOpt: lqn.Options{Convergence: 1e-6},
 	}
 }
 
@@ -53,121 +64,91 @@ func servers() map[string]workload.ServerArch {
 // MaxThroughput benchmarks (and memoises) an architecture's typical
 // max throughput on the simulated testbed.
 func (s *Suite) MaxThroughput(arch workload.ServerArch) (float64, error) {
-	if x, ok := s.maxThroughput[arch.Name]; ok {
-		return x, nil
-	}
-	x, err := trade.MaxThroughput(arch, 0, s.Opt)
-	if err != nil {
-		return 0, err
-	}
-	s.maxThroughput[arch.Name] = x
-	return x, nil
+	return s.maxThroughput.Do(arch.Name, func() (float64, error) {
+		return trade.MaxThroughput(arch, 0, s.Opt)
+	})
 }
 
 // Gradient calibrates (and memoises) the shared clients→throughput
 // gradient m from below-saturation measurements on AppServF.
 func (s *Suite) Gradient() (float64, error) {
-	if s.gradient != 0 {
-		return s.gradient, nil
-	}
-	xMax, err := s.MaxThroughput(workload.AppServF())
-	if err != nil {
-		return 0, err
-	}
-	nStar := xMax / 0.14 // provisional anchor just to stay below saturation
-	counts := []int{int(0.25 * nStar), int(0.5 * nStar)}
-	points, err := trade.MeasureCurve(workload.AppServF(), counts, 0, s.Opt)
-	if err != nil {
-		return 0, err
-	}
-	tps := make([]hist.ThroughputPoint, len(points))
-	for i, p := range points {
-		tps[i] = hist.ThroughputPoint{Clients: float64(p.Clients), Throughput: p.Res.Throughput}
-	}
-	m, err := hist.CalibrateGradient(tps)
-	if err != nil {
-		return 0, err
-	}
-	s.gradient = m
-	return m, nil
+	return s.gradient.Do(func() (float64, error) {
+		xMax, err := s.MaxThroughput(workload.AppServF())
+		if err != nil {
+			return 0, err
+		}
+		nStar := xMax / 0.14 // provisional anchor just to stay below saturation
+		counts := []int{int(0.25 * nStar), int(0.5 * nStar)}
+		points, err := trade.MeasureCurve(workload.AppServF(), counts, 0, s.Opt)
+		if err != nil {
+			return 0, err
+		}
+		tps := make([]hist.ThroughputPoint, len(points))
+		for i, p := range points {
+			tps[i] = hist.ThroughputPoint{Clients: float64(p.Clients), Throughput: p.Res.Throughput}
+		}
+		return hist.CalibrateGradient(tps)
+	})
 }
 
 // HistModel calibrates (and memoises) the historical model for an
 // established architecture from two lower and two upper measured data
 // points — the paper's minimal nldp = nudp = 2 calibration.
 func (s *Suite) HistModel(arch workload.ServerArch) (*hist.ServerModel, error) {
-	if m, ok := s.histModels[arch.Name]; ok {
-		return m, nil
-	}
-	xMax, err := s.MaxThroughput(arch)
-	if err != nil {
-		return nil, err
-	}
-	m, err := s.Gradient()
-	if err != nil {
-		return nil, err
-	}
-	nStar := xMax / m
-	counts := []int{int(0.25 * nStar), int(0.55 * nStar), int(1.2 * nStar), int(1.6 * nStar)}
-	points, err := trade.MeasureCurve(arch, counts, 0, s.Opt)
-	if err != nil {
-		return nil, err
-	}
-	dps := make([]hist.DataPoint, len(points))
-	for i, p := range points {
-		dps[i] = hist.DataPoint{Clients: float64(p.Clients), MeanRT: p.Res.MeanRT, Samples: p.Res.PerClass["browse"].Completed}
-	}
-	model, err := hist.CalibrateServer(arch, xMax, m, dps)
-	if err != nil {
-		return nil, err
-	}
-	s.histModels[arch.Name] = model
-	return model, nil
+	return s.histModels.Do(arch.Name, func() (*hist.ServerModel, error) {
+		xMax, err := s.MaxThroughput(arch)
+		if err != nil {
+			return nil, err
+		}
+		m, err := s.Gradient()
+		if err != nil {
+			return nil, err
+		}
+		nStar := xMax / m
+		counts := []int{int(0.25 * nStar), int(0.55 * nStar), int(1.2 * nStar), int(1.6 * nStar)}
+		points, err := trade.MeasureCurve(arch, counts, 0, s.Opt)
+		if err != nil {
+			return nil, err
+		}
+		dps := make([]hist.DataPoint, len(points))
+		for i, p := range points {
+			dps[i] = hist.DataPoint{Clients: float64(p.Clients), MeanRT: p.Res.MeanRT, Samples: p.Res.PerClass["browse"].Completed}
+		}
+		return hist.CalibrateServer(arch, xMax, m, dps)
+	})
 }
 
 // Rel2 fits (and memoises) relationship 2 across the established
 // servers AppServF and AppServVF.
 func (s *Suite) Rel2() (*hist.Relationship2, error) {
-	if s.rel2 != nil {
-		return s.rel2, nil
-	}
-	f, err := s.HistModel(workload.AppServF())
-	if err != nil {
-		return nil, err
-	}
-	vf, err := s.HistModel(workload.AppServVF())
-	if err != nil {
-		return nil, err
-	}
-	rel2, err := hist.FitRelationship2([]*hist.ServerModel{f, vf})
-	if err != nil {
-		return nil, err
-	}
-	s.rel2 = rel2
-	return rel2, nil
+	return s.rel2.Do(func() (*hist.Relationship2, error) {
+		established := []workload.ServerArch{workload.AppServF(), workload.AppServVF()}
+		models, err := parallel.Map(context.Background(), s.Opt.Workers, len(established),
+			func(_ context.Context, i int) (*hist.ServerModel, error) {
+				return s.HistModel(established[i])
+			})
+		if err != nil {
+			return nil, err
+		}
+		return hist.FitRelationship2(models)
+	})
 }
 
 // HistNewServer predicts (and memoises) the new architecture's
 // (AppServS) historical model from its max-throughput benchmark via
 // relationship 2.
 func (s *Suite) HistNewServer() (*hist.ServerModel, error) {
-	if s.histNew != nil {
-		return s.histNew, nil
-	}
-	rel2, err := s.Rel2()
-	if err != nil {
-		return nil, err
-	}
-	xMax, err := s.MaxThroughput(workload.AppServS())
-	if err != nil {
-		return nil, err
-	}
-	model, err := rel2.NewServerModel(workload.AppServS(), xMax)
-	if err != nil {
-		return nil, err
-	}
-	s.histNew = model
-	return model, nil
+	return s.histNew.Do(func() (*hist.ServerModel, error) {
+		rel2, err := s.Rel2()
+		if err != nil {
+			return nil, err
+		}
+		xMax, err := s.MaxThroughput(workload.AppServS())
+		if err != nil {
+			return nil, err
+		}
+		return rel2.NewServerModel(workload.AppServS(), xMax)
+	})
 }
 
 // HistModelFor returns the historical model used for an architecture:
@@ -184,36 +165,42 @@ func (s *Suite) HistModelFor(arch workload.ServerArch) (*hist.ServerModel, error
 // AppServF per §5: one single-request-type measurement per type,
 // demands from the utilisation law.
 func (s *Suite) LQNDemands() (map[workload.RequestType]workload.Demand, error) {
-	if s.lqnDemands != nil {
-		return s.lqnDemands, nil
-	}
-	truth := workload.CaseStudyDemands()
-	demands := make(map[workload.RequestType]workload.Demand, 2)
-	for _, rt := range []workload.RequestType{workload.Browse, workload.Buy} {
-		class := workload.ServiceClass{
-			Name:          "calib",
-			Mix:           workload.Mix{rt: 1},
-			ThinkTimeMean: workload.ThinkTimeMean,
-		}
-		res, err := trade.Measure(workload.AppServF(), workload.Workload{{Class: class, Clients: 1100}}, s.Opt)
+	return s.lqnDemands.Do(func() (map[workload.RequestType]workload.Demand, error) {
+		truth := workload.CaseStudyDemands()
+		types := []workload.RequestType{workload.Browse, workload.Buy}
+		calibrated, err := parallel.Map(context.Background(), s.Opt.Workers, len(types), func(_ context.Context, i int) (workload.Demand, error) {
+			rt := types[i]
+			class := workload.ServiceClass{
+				Name:          "calib",
+				Mix:           workload.Mix{rt: 1},
+				ThinkTimeMean: workload.ThinkTimeMean,
+			}
+			res, err := trade.Measure(workload.AppServF(), workload.Workload{{Class: class, Clients: 1100}}, s.Opt)
+			if err != nil {
+				return workload.Demand{}, err
+			}
+			d, err := lqn.CalibrateDemand(lqn.CalibrationRun{
+				Throughput:        res.Throughput,
+				AppUtilization:    res.AppUtilization,
+				DBUtilization:     res.DBUtilization,
+				DBCallsPerRequest: truth[rt].DBCallsPerRequest,
+				AppSpeed:          1,
+				DBSpeed:           1,
+			})
+			if err != nil {
+				return workload.Demand{}, fmt.Errorf("bench: calibrating %s: %w", rt, err)
+			}
+			return d, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		d, err := lqn.CalibrateDemand(lqn.CalibrationRun{
-			Throughput:        res.Throughput,
-			AppUtilization:    res.AppUtilization,
-			DBUtilization:     res.DBUtilization,
-			DBCallsPerRequest: truth[rt].DBCallsPerRequest,
-			AppSpeed:          1,
-			DBSpeed:           1,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("bench: calibrating %s: %w", rt, err)
+		demands := make(map[workload.RequestType]workload.Demand, len(types))
+		for i, rt := range types {
+			demands[rt] = calibrated[i]
 		}
-		demands[rt] = d
-	}
-	s.lqnDemands = demands
-	return demands, nil
+		return demands, nil
+	})
 }
 
 // LQNPredict solves the layered model for an architecture and
@@ -227,51 +214,41 @@ func (s *Suite) LQNPredict(arch workload.ServerArch, load workload.Workload) (*l
 }
 
 // Hybrid builds (and memoises) the advanced hybrid model over all
-// three architectures.
+// three architectures, generating the per-architecture pseudo data on
+// the suite's worker pool.
 func (s *Suite) Hybrid() (*hybrid.Model, error) {
-	if s.hybridModel != nil {
-		return s.hybridModel, nil
-	}
-	demands, err := s.LQNDemands()
-	if err != nil {
-		return nil, err
-	}
-	m, err := hybrid.Build(hybrid.Config{
-		DB:      workload.CaseStudyDB(),
-		Demands: demands,
-		LQN:     s.LQNOpt,
-	}, workload.CaseStudyServers())
-	if err != nil {
-		return nil, err
-	}
-	s.hybridModel = m
-	return m, nil
+	return s.hybridModel.Do(func() (*hybrid.Model, error) {
+		demands, err := s.LQNDemands()
+		if err != nil {
+			return nil, err
+		}
+		return hybrid.Build(hybrid.Config{
+			DB:      workload.CaseStudyDB(),
+			Demands: demands,
+			LQN:     s.LQNOpt,
+			Workers: s.Opt.Workers,
+		}, workload.CaseStudyServers())
+	})
 }
 
 // LaplaceScale calibrates (and memoises) the §7.1 post-saturation
 // Laplace scale b from one saturated measurement on AppServF.
 func (s *Suite) LaplaceScale() (float64, error) {
-	if s.laplaceScale != 0 {
-		return s.laplaceScale, nil
-	}
-	xMax, err := s.MaxThroughput(workload.AppServF())
-	if err != nil {
-		return 0, err
-	}
-	m, err := s.Gradient()
-	if err != nil {
-		return 0, err
-	}
-	n := int(1.4 * xMax / m)
-	res, err := trade.Measure(workload.AppServF(), workload.TypicalWorkload(n), s.Opt)
-	if err != nil {
-		return 0, err
-	}
-	samples := res.PerClass["browse"].Samples
-	b, err := calibrateLaplace(samples, res.MeanRT)
-	if err != nil {
-		return 0, err
-	}
-	s.laplaceScale = b
-	return b, nil
+	return s.laplaceScale.Do(func() (float64, error) {
+		xMax, err := s.MaxThroughput(workload.AppServF())
+		if err != nil {
+			return 0, err
+		}
+		m, err := s.Gradient()
+		if err != nil {
+			return 0, err
+		}
+		n := int(1.4 * xMax / m)
+		res, err := trade.Measure(workload.AppServF(), workload.TypicalWorkload(n), s.Opt)
+		if err != nil {
+			return 0, err
+		}
+		samples := res.PerClass["browse"].Samples
+		return calibrateLaplace(samples, res.MeanRT)
+	})
 }

@@ -16,12 +16,14 @@
 package hybrid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"perfpred/internal/hist"
 	"perfpred/internal/lqn"
+	"perfpred/internal/parallel"
 	"perfpred/internal/workload"
 )
 
@@ -39,6 +41,11 @@ type Config struct {
 	PointsPerEquation int
 	// LQN tunes the layered solver used for data generation.
 	LQN lqn.Options
+	// Workers bounds how many architectures generate their pseudo data
+	// concurrently during Build. Each architecture's solves are
+	// independent, so the built model is identical for any worker
+	// count. 0 selects runtime.GOMAXPROCS(0); 1 builds serially.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -76,13 +83,24 @@ func Build(cfg Config, servers []workload.ServerArch) (*Model, error) {
 	}
 	start := time.Now()
 	m := &Model{Servers: make(map[string]*hist.ServerModel, len(servers))}
-	for _, arch := range servers {
-		sm, evals, err := buildServer(cfg, arch)
-		if err != nil {
-			return nil, fmt.Errorf("hybrid: building %s: %w", arch.Name, err)
-		}
-		m.Evaluations += evals
-		m.Servers[arch.Name] = sm
+	type built struct {
+		sm    *hist.ServerModel
+		evals int
+	}
+	results, err := parallel.Map(context.Background(), cfg.Workers, len(servers),
+		func(_ context.Context, i int) (built, error) {
+			sm, evals, err := buildServer(cfg, servers[i])
+			if err != nil {
+				return built{}, fmt.Errorf("hybrid: building %s: %w", servers[i].Name, err)
+			}
+			return built{sm: sm, evals: evals}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range results {
+		m.Evaluations += b.evals
+		m.Servers[servers[i].Name] = b.sm
 	}
 	m.StartupDelay = time.Since(start)
 	return m, nil

@@ -1,0 +1,68 @@
+package parallel
+
+import "sync"
+
+// Memo is a concurrency-safe, singleflight-style memoisation table.
+// The first caller of Do for a key runs fn; concurrent callers of the
+// same key block until that flight finishes and share its result;
+// later callers get the memoised value without running fn again.
+// Different keys never block each other.
+//
+// A successful result is cached forever. A failed flight is NOT
+// cached: its waiters receive the error, and the next Do for that key
+// retries — the same semantics the serial suite had, where an errored
+// calibration left the memo field unset.
+//
+// The zero value is ready to use.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the memoised value for key, computing it with fn on the
+// first call. fn runs at most once per key at a time, and at most once
+// ever if it succeeds.
+func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if m.m == nil {
+		m.m = make(map[K]*flight[V])
+	}
+	if f, ok := m.m[key]; ok {
+		m.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	m.m[key] = f
+	m.mu.Unlock()
+
+	f.val, f.err = fn()
+	if f.err != nil {
+		m.mu.Lock()
+		delete(m.m, key)
+		m.mu.Unlock()
+	}
+	close(f.done)
+	return f.val, f.err
+}
+
+// Once memoises a single computed value: Memo with one key. It is the
+// done-flag replacement for zero-value sentinels like
+// `if s.gradient != 0 { return s.gradient }`, which misread a
+// legitimately-zero cached value as "not yet computed" and are not
+// safe for concurrent use. The zero value is ready to use.
+type Once[V any] struct {
+	memo Memo[struct{}, V]
+}
+
+// Do returns the memoised value, computing it with fn on the first
+// call. Errors are not memoised; concurrent callers share one flight.
+func (o *Once[V]) Do(fn func() (V, error)) (V, error) {
+	return o.memo.Do(struct{}{}, fn)
+}

@@ -1,0 +1,105 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMemoSingleFlight(t *testing.T) {
+	var m Memo[string, int]
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := m.Do("k", func() (int, error) {
+				calls.Add(1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = (%d, %v), want (42, nil)", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if c := calls.Load(); c != 1 {
+		t.Fatalf("fn ran %d times for one key, want 1", c)
+	}
+}
+
+func TestMemoDistinctKeys(t *testing.T) {
+	var m Memo[int, int]
+	for k := 0; k < 5; k++ {
+		v, err := m.Do(k, func() (int, error) { return k * 10, nil })
+		if err != nil || v != k*10 {
+			t.Fatalf("Do(%d) = (%d, %v)", k, v, err)
+		}
+	}
+	// Second pass must hit the memo, not recompute.
+	for k := 0; k < 5; k++ {
+		v, err := m.Do(k, func() (int, error) {
+			t.Fatalf("recomputed key %d", k)
+			return 0, nil
+		})
+		if err != nil || v != k*10 {
+			t.Fatalf("memoised Do(%d) = (%d, %v)", k, v, err)
+		}
+	}
+}
+
+func TestMemoErrorsRetry(t *testing.T) {
+	var m Memo[string, int]
+	boom := errors.New("boom")
+	if _, err := m.Do("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("first Do err = %v, want boom", err)
+	}
+	v, err := m.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry Do = (%d, %v), want (7, nil): failures must not be memoised", v, err)
+	}
+}
+
+// TestOnceCachesZeroValue is the regression test for the suite's old
+// `if s.gradient != 0` memoisation, which re-ran the calibration
+// whenever the cached value was legitimately zero.
+func TestOnceCachesZeroValue(t *testing.T) {
+	var o Once[float64]
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, err := o.Do(func() (float64, error) {
+			calls++
+			return 0, nil
+		})
+		if err != nil || v != 0 {
+			t.Fatalf("Do = (%v, %v)", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("zero value recomputed: fn ran %d times, want 1", calls)
+	}
+}
+
+func TestOnceConcurrent(t *testing.T) {
+	var o Once[int]
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v, err := o.Do(func() (int, error) {
+				calls.Add(1)
+				return 9, nil
+			}); err != nil || v != 9 {
+				t.Errorf("Do = (%d, %v)", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if c := calls.Load(); c != 1 {
+		t.Fatalf("fn ran %d times, want 1", c)
+	}
+}

@@ -1,10 +1,12 @@
 package rm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"perfpred/internal/parallel"
 	"perfpred/internal/sla"
 	"perfpred/internal/workload"
 )
@@ -176,26 +178,31 @@ func SweepSlack(shares []ClassShare, servers []Server, pred, truth Predictor, sl
 	if len(slacks) == 0 {
 		return nil, errors.New("rm: no slack levels")
 	}
-	out := make([]SlackPoint, 0, len(slacks))
-	var suMax float64
+	// Each slack level's load sweep is an independent plan/evaluate
+	// cycle over read-only predictors, so the sweeps fan out across the
+	// cores; the anchor metrics (cutoff, SUmax) come from slacks[0]
+	// exactly as in the serial loop, applied after the fan-out.
+	series, err := parallel.Map(context.Background(), 0, len(slacks),
+		func(_ context.Context, i int) ([]SweepPoint, error) {
+			return SweepLoad(shares, servers, pred, truth, slacks[i], loads, allocOpts, evalOpts)
+		})
+	if err != nil {
+		return nil, err
+	}
 	cutoff := 0
+	for _, p := range series[0] {
+		if p.ServerUsagePct >= 100 {
+			break
+		}
+		cutoff++
+	}
+	if cutoff == 0 {
+		cutoff = len(series[0])
+	}
+	var suMax float64
+	out := make([]SlackPoint, 0, len(slacks))
 	for i, slack := range slacks {
-		points, err := SweepLoad(shares, servers, pred, truth, slack, loads, allocOpts, evalOpts)
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			for _, p := range points {
-				if p.ServerUsagePct >= 100 {
-					break
-				}
-				cutoff++
-			}
-			if cutoff == 0 {
-				cutoff = len(points)
-			}
-		}
-		fail, usage := AverageMetricsN(points, cutoff)
+		fail, usage := AverageMetricsN(series[i], cutoff)
 		if i == 0 {
 			suMax = usage
 		}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// BenchmarkSchedule measures the steady-state cost of scheduling one
+// event into a queue of pending events. After the first pool fill the
+// free list supplies every event, so allocs/op must report 0.
+func BenchmarkSchedule(b *testing.B) {
+	e := NewEngine()
+	nop := func() {}
+	const pending = 1024
+	for i := 0; i < pending; i++ {
+		e.Schedule(float64(i%64), nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(float64(i%64), nop)
+		if e.Pending() > 2*pending {
+			e.Run(e.Now()+16, 0)
+		}
+	}
+}
+
+// BenchmarkRunDrain measures the full schedule→pop→fire cycle via a
+// self-perpetuating event chain: each firing schedules its successor,
+// which is exactly the hot loop of the trade simulator's think/serve
+// cycles. Steady state must be allocation-free per event.
+func BenchmarkRunDrain(b *testing.B) {
+	e := NewEngine()
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		remaining--
+		if remaining > 0 {
+			e.Schedule(1, tick)
+		}
+	}
+	e.Schedule(1, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run(math.Inf(1), 0)
+	if remaining != 0 {
+		b.Fatalf("chain stopped with %d events left", remaining)
+	}
+}
+
+// BenchmarkScheduleCancelDrain exercises the cancellation path: half
+// of the scheduled events are cancelled before firing, so the engine
+// discards and recycles them without running their actions.
+func BenchmarkScheduleCancelDrain(b *testing.B) {
+	e := NewEngine()
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 512
+	for done := 0; done < b.N; done += batch {
+		n := batch
+		if rest := b.N - done; rest < n {
+			n = rest
+		}
+		for i := 0; i < n; i++ {
+			ev := e.Schedule(float64(i%16), nop)
+			if i%2 == 0 {
+				ev.Cancel()
+			}
+		}
+		e.Run(e.Now()+16, 0)
+	}
+}
+
+// BenchmarkStationSubmit measures one processor-sharing service cycle
+// end to end (Submit → completion event → callback), the innermost
+// loop of every simulated measurement.
+func BenchmarkStationSubmit(b *testing.B) {
+	e := NewEngine()
+	s := NewStation(e, "cpu", 1, 4, GlobalFIFO)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Submit(0, 0.001, nil)
+		e.Run(e.Now()+1, 0)
+	}
+}

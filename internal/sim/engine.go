@@ -10,35 +10,57 @@
 // Trade benchmark simulator (internal/trade) is built on these
 // primitives and produces the "measured" numbers that every prediction
 // method is scored against.
+//
+// The event core is allocation-free in steady state: fired and
+// discarded events return to a per-engine free list and are reused by
+// later Schedule calls, and the priority queue is a concrete-typed
+// binary heap rather than container/heap, so no interface boxing or
+// dynamic dispatch happens per event. One Engine is strictly
+// single-goroutine; concurrency lives a level up, where independent
+// engines run in parallel (internal/parallel).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// Event is a scheduled occurrence in simulated time. It is returned by
-// Engine.Schedule so callers can cancel it before it fires.
+// Event is a handle to a scheduled occurrence, returned by
+// Engine.Schedule so callers can cancel the event before it fires. It
+// is a small value type; the zero Event is a valid no-op handle.
+//
+// Handles stay safe across event reuse: the engine recycles fired
+// events through a free list, and each reuse bumps a generation
+// counter, so a Cancel through a stale handle (after the event fired
+// or was discarded) is a no-op rather than a cancellation of whatever
+// the slot was reused for.
 type Event struct {
-	time      float64
-	seq       uint64
-	action    func()
-	cancelled bool
-	index     int // heap index, -1 when not queued
+	ev   *event
+	gen  uint64
+	time float64
 }
 
 // Cancel prevents the event's action from running when its time
-// arrives. Cancelling an already-fired or already-cancelled event is a
-// no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+// arrives. Cancelling an already-fired, already-cancelled or zero
+// event is a no-op.
+func (e Event) Cancel() {
+	if e.ev != nil && e.ev.gen == e.gen {
+		e.ev.cancelled = true
 	}
 }
 
-// Time returns the simulated time at which the event fires.
-func (e *Event) Time() float64 { return e.time }
+// Time returns the simulated time at which the event fires (fired).
+func (e Event) Time() float64 { return e.time }
+
+// event is the pooled scheduler entry behind an Event handle.
+type event struct {
+	time      float64
+	seq       uint64
+	gen       uint64
+	action    func()
+	cancelled bool
+	next      *event // free-list link, nil while queued
+}
 
 // Engine is a sequential discrete-event scheduler. Events fire in
 // non-decreasing time order; ties break in scheduling order, which
@@ -46,7 +68,8 @@ func (e *Event) Time() float64 { return e.time }
 // not usable; create engines with NewEngine.
 type Engine struct {
 	now    float64
-	queue  eventHeap
+	queue  []*event // concrete binary heap ordered by (time, seq)
+	free   *event   // recycled events
 	nextSq uint64
 	fired  uint64
 }
@@ -70,14 +93,34 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Schedule runs action after delay units of simulated time. It panics
 // on negative or NaN delays — those are always modelling bugs, never
 // recoverable conditions.
-func (e *Engine) Schedule(delay float64, action func()) *Event {
+func (e *Engine) Schedule(delay float64, action func()) Event {
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("sim: invalid delay %v", delay))
 	}
-	ev := &Event{time: e.now + delay, seq: e.nextSq, action: action, index: -1}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &event{}
+	}
+	ev.time = e.now + delay
+	ev.seq = e.nextSq
+	ev.action = action
+	ev.cancelled = false
 	e.nextSq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.push(ev)
+	return Event{ev: ev, gen: ev.gen, time: ev.time}
+}
+
+// release returns a popped event to the free list, invalidating any
+// outstanding handles to it.
+func (e *Engine) release(ev *event) {
+	ev.action = nil
+	ev.cancelled = false
+	ev.gen++
+	ev.next = e.free
+	e.free = ev
 }
 
 // Run executes events until the clock would pass until, the event
@@ -90,21 +133,22 @@ func (e *Engine) Run(until float64, limit uint64) uint64 {
 		if next.time > until {
 			break
 		}
-		heap.Pop(&e.queue)
+		e.pop()
 		if next.cancelled {
+			e.release(next)
 			continue
 		}
 		e.now = next.time
-		next.action()
+		action := next.action
+		e.release(next) // before the action, so it can reuse the slot
+		action()
 		e.fired++
 		fired++
 		if limit > 0 && fired >= limit {
 			break
 		}
 	}
-	if e.now < until && len(e.queue) == 0 {
-		e.now = until
-	} else if e.now < until && e.queue[0].time > until {
+	if e.now < until && (len(e.queue) == 0 || e.queue[0].time > until) {
 		e.now = until
 	}
 	return fired
@@ -114,43 +158,73 @@ func (e *Engine) Run(until float64, limit uint64) uint64 {
 // fired.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		next := heap.Pop(&e.queue).(*Event)
+		next := e.pop()
 		if next.cancelled {
+			e.release(next)
 			continue
 		}
 		e.now = next.time
-		next.action()
+		action := next.action
+		e.release(next)
+		action()
 		e.fired++
 		return true
 	}
 	return false
 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// eventBefore is the heap order: earlier time first, scheduling order
+// breaking ties.
+func eventBefore(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// push inserts ev into the heap (sift-up).
+func (e *Engine) push(ev *event) {
+	e.queue = append(e.queue, ev)
+	q := e.queue
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = ev
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+// pop removes and returns the earliest event (sift-down).
+func (e *Engine) pop() *event {
+	q := e.queue
+	top := q[0]
+	last := len(q) - 1
+	ev := q[last]
+	q[last] = nil
+	e.queue = q[:last]
+	if last == 0 {
+		return top
+	}
+	q = e.queue
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= last {
+			break
+		}
+		if r := child + 1; r < last && eventBefore(q[r], q[child]) {
+			child = r
+		}
+		if !eventBefore(q[child], ev) {
+			break
+		}
+		q[i] = q[child]
+		i = child
+	}
+	q[i] = ev
+	return top
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sort"
 	"testing"
 )
 
@@ -41,8 +42,88 @@ func TestEngineCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	var nilEv *Event
-	nilEv.Cancel() // must not panic
+	var zeroEv Event
+	zeroEv.Cancel() // must not panic
+}
+
+// TestEngineStaleHandleCancel pins the free-list safety contract: a
+// handle to an event that already fired must not cancel whatever
+// Schedule reused the pooled slot for.
+func TestEngineStaleHandleCancel(t *testing.T) {
+	e := NewEngine()
+	first := 0
+	stale := e.Schedule(1, func() { first++ })
+	e.Run(5, 0) // fires and recycles the event
+	if first != 1 {
+		t.Fatalf("first event fired %d times, want 1", first)
+	}
+	second := 0
+	e.Schedule(1, func() { second++ }) // reuses the pooled event
+	stale.Cancel()                     // must be a no-op
+	e.Run(10, 0)
+	if second != 1 {
+		t.Fatal("stale Cancel suppressed a reused event")
+	}
+}
+
+// TestEngineEventReuse checks the free list actually recycles: a long
+// schedule/fire cycle must not grow the pool beyond the peak number of
+// simultaneously pending events.
+func TestEngineEventReuse(t *testing.T) {
+	e := NewEngine()
+	allocated := 0
+	countFree := func() int {
+		n := 0
+		for ev := e.free; ev != nil; ev = ev.next {
+			n++
+		}
+		return n
+	}
+	for i := 0; i < 1000; i++ {
+		e.Schedule(1, func() {})
+		e.Run(e.Now()+2, 0)
+		if total := e.Pending() + countFree(); total > allocated {
+			allocated = total
+		}
+	}
+	if allocated > 2 {
+		t.Fatalf("pool grew to %d events over a schedule/fire cycle; free list is not recycling", allocated)
+	}
+}
+
+// TestEngineHeapOrderRandomised cross-checks the concrete heap against
+// a sort of the same (time, seq) pairs.
+func TestEngineHeapOrderRandomised(t *testing.T) {
+	e := NewEngine()
+	rng := NewStream(123)
+	const n = 500
+	type stamp struct {
+		time float64
+		seq  int
+	}
+	var want []stamp
+	var got []stamp
+	for i := 0; i < n; i++ {
+		d := math.Floor(rng.Float64()*50) / 10 // coarse grid forces ties
+		seq := i
+		want = append(want, stamp{d, seq})
+		e.Schedule(d, func() { got = append(got, stamp{e.Now(), seq}) })
+	}
+	sort.SliceStable(want, func(i, j int) bool {
+		if want[i].time != want[j].time {
+			return want[i].time < want[j].time
+		}
+		return want[i].seq < want[j].seq
+	})
+	e.Run(100, 0)
+	if len(got) != n {
+		t.Fatalf("fired %d events, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired as %+v, want %+v", i, got[i], want[i])
+		}
+	}
 }
 
 func TestEngineRunUntilStopsBeforeLaterEvents(t *testing.T) {

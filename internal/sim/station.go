@@ -50,7 +50,7 @@ type Station struct {
 	rrNext  int
 
 	lastUpdate float64
-	completion *Event
+	completion Event
 
 	// accumulated statistics
 	statsSince   float64
@@ -138,7 +138,7 @@ func (s *Station) update() {
 // least remaining demand.
 func (s *Station) scheduleNext() {
 	s.completion.Cancel()
-	s.completion = nil
+	s.completion = Event{}
 	if len(s.active) == 0 {
 		return
 	}
@@ -161,7 +161,7 @@ func (s *Station) scheduleNext() {
 // so they may immediately Submit again (e.g. a request's next database
 // call).
 func (s *Station) onCompletion() {
-	s.completion = nil
+	s.completion = Event{}
 	s.update()
 	var finished []*job
 	kept := s.active[:0]

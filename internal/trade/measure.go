@@ -1,9 +1,11 @@
 package trade
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"perfpred/internal/parallel"
 	"perfpred/internal/workload"
 )
 
@@ -13,6 +15,13 @@ type MeasureOptions struct {
 	Seed     int64
 	WarmUp   float64 // seconds, default 60 (the paper's 1-minute warm-up)
 	Duration float64 // seconds, default 240
+
+	// Workers bounds how many simulations sweep helpers like
+	// MeasureCurve run concurrently. Every sweep cell owns its own
+	// engine and seeded streams, so results are bit-identical for any
+	// worker count; the knob only trades wall-clock for cores.
+	// 0 selects runtime.GOMAXPROCS(0); 1 runs the exact serial loop.
+	Workers int
 }
 
 func (o MeasureOptions) withDefaults() MeasureOptions {
@@ -81,24 +90,33 @@ type CurvePoint struct {
 }
 
 // MeasureCurve sweeps the client population and measures each point,
-// producing the "measured" series of the paper's figure 2.
+// producing the "measured" series of the paper's figure 2. Points run
+// on opt.Workers concurrent simulations; each point is an independent
+// run seeded identically to the serial path, so the curve is
+// bit-identical for every worker count.
 func MeasureCurve(server workload.ServerArch, clientCounts []int, buyFraction float64, opt MeasureOptions) ([]CurvePoint, error) {
-	points := make([]CurvePoint, 0, len(clientCounts))
 	for _, n := range clientCounts {
 		if n <= 0 {
 			return nil, fmt.Errorf("trade: invalid client count %d", n)
 		}
-		var load workload.Workload
-		if buyFraction <= 0 {
-			load = workload.TypicalWorkload(n)
-		} else {
-			load = workload.MixedWorkload(n, buyFraction)
-		}
-		res, err := Measure(server, load, opt)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, CurvePoint{Clients: n, Res: res})
+	}
+	results, err := parallel.Map(context.Background(), opt.Workers, len(clientCounts),
+		func(_ context.Context, i int) (*Result, error) {
+			n := clientCounts[i]
+			var load workload.Workload
+			if buyFraction <= 0 {
+				load = workload.TypicalWorkload(n)
+			} else {
+				load = workload.MixedWorkload(n, buyFraction)
+			}
+			return Measure(server, load, opt)
+		})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]CurvePoint, len(clientCounts))
+	for i, res := range results {
+		points[i] = CurvePoint{Clients: clientCounts[i], Res: res}
 	}
 	return points, nil
 }
