@@ -4,8 +4,10 @@
 #   make race   — race tier: the concurrent Suite, worker pool and
 #                 event-core paths under the race detector (short).
 #   make bench  — the performance evidence: event-core micro-benchmarks
-#                 (flat allocation counts per event) and the
-#                 figure-scale sweep at 1 worker vs all cores.
+#                 (flat allocation counts per event), the LQN solver
+#                 fast-path benchmarks, the figure-scale sweep, and the
+#                 BENCH_lqn.json snapshot (commit it to extend the
+#                 perf trajectory).
 
 GO ?= go
 
@@ -22,3 +24,6 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedule|BenchmarkRunDrain|BenchmarkStationSubmit' -benchmem ./internal/sim
 	$(GO) test -run '^$$' -bench BenchmarkMeasureCurve -benchtime 2x ./internal/trade
+	$(GO) test -run '^$$' -bench 'BenchmarkSolve' -benchmem ./internal/lqn
+	$(GO) test -run '^$$' -bench 'BenchmarkHybridBuild|BenchmarkBuildRelationship3' -benchmem ./internal/hybrid
+	$(GO) run ./cmd/lqnbench -out BENCH_lqn.json

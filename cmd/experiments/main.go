@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"perfpred/internal/bench"
@@ -29,7 +30,33 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent simulations/solves per sweep (1 = serial)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	format := flag.String("format", "text", "output format: text|json")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, name := range bench.Experiments() {

@@ -1,0 +1,178 @@
+// Command lqnbench records the analytic-solver performance baseline:
+// it runs the solver micro-benchmarks programmatically and writes the
+// results — ns/op, allocs/op, and the warm-vs-cold sweep iteration
+// counts — to a JSON snapshot (BENCH_lqn.json at the repo root is the
+// committed trajectory).
+//
+//	go run ./cmd/lqnbench -out BENCH_lqn.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"perfpred/internal/hybrid"
+	"perfpred/internal/lqn"
+	"perfpred/internal/workload"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type sweepResult struct {
+	Populations    string  `json:"populations"`
+	ColdIterations int     `json:"cold_iterations"`
+	WarmIterations int     `json:"warm_iterations"`
+	ReductionPct   float64 `json:"reduction_pct"`
+}
+
+type snapshot struct {
+	Note       string        `json:"note"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	WarmSweep  sweepResult   `json:"warm_sweep"`
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lqnbench:", err)
+	os.Exit(1)
+}
+
+func tradeModel(clients int) *lqn.Model {
+	m, err := lqn.NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), workload.CaseStudyDemands(), workload.MixedWorkload(clients, 0.25))
+	if err != nil {
+		fatal(err)
+	}
+	return m
+}
+
+func run(name string, fn func(b *testing.B)) benchResult {
+	r := testing.Benchmark(fn)
+	return benchResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// sweep solves the trade model over an adjacent-population grid and
+// returns the summed MVA iteration counts — the quantity warm starting
+// reduces.
+func sweep(warm bool) int {
+	m := tradeModel(50)
+	s := lqn.NewSolver()
+	s.WarmStart = warm
+	total := 0
+	for n := 50; n <= 2000; n += 50 {
+		m.Classes[0].Population = n
+		res, err := s.Solve(m, lqn.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		total += res.Iterations
+	}
+	return total
+}
+
+func main() {
+	out := flag.String("out", "BENCH_lqn.json", "output JSON path (- for stdout)")
+	flag.Parse()
+
+	snap := snapshot{
+		Note: "LQN solver baseline; regenerate with `make bench` (timings are machine-dependent, allocs and iteration counts are not)",
+	}
+
+	snap.Benchmarks = append(snap.Benchmarks,
+		run("Solve/one-shot", func(b *testing.B) {
+			m := tradeModel(400)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lqn.Solve(m, lqn.Options{}); err != nil {
+					fatal(err)
+				}
+			}
+		}),
+		run("Solver.Solve/steady-state", func(b *testing.B) {
+			m := tradeModel(400)
+			s := lqn.NewSolver()
+			if _, err := s.Solve(m, lqn.Options{}); err != nil {
+				fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Classes[0].Population = 400 + 50*(i%2)
+				if _, err := s.Solve(m, lqn.Options{}); err != nil {
+					fatal(err)
+				}
+			}
+		}),
+		run("Solver.Solve/warm-start", func(b *testing.B) {
+			m := tradeModel(400)
+			s := lqn.NewSolver()
+			s.WarmStart = true
+			if _, err := s.Solve(m, lqn.Options{}); err != nil {
+				fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Classes[0].Population = 400 + 50*(i%2)
+				if _, err := s.Solve(m, lqn.Options{}); err != nil {
+					fatal(err)
+				}
+			}
+		}),
+		run("Solver.Solve/task-layering", func(b *testing.B) {
+			m := tradeModel(400)
+			s := lqn.NewSolver()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Solve(m, lqn.Options{TaskLayering: true}); err != nil {
+					fatal(err)
+				}
+			}
+		}),
+		run("hybrid.Build/serial", func(b *testing.B) {
+			cfg := hybrid.Config{DB: workload.CaseStudyDB(), Demands: workload.CaseStudyDemands(), Workers: 1}
+			servers := workload.CaseStudyServers()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := hybrid.Build(cfg, servers); err != nil {
+					fatal(err)
+				}
+			}
+		}),
+	)
+
+	cold := sweep(false)
+	warmed := sweep(true)
+	snap.WarmSweep = sweepResult{
+		Populations:    "trade multiclass, browse population 50..2000 step 50",
+		ColdIterations: cold,
+		WarmIterations: warmed,
+		ReductionPct:   100 * (1 - float64(warmed)/float64(cold)),
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: steady-state %d allocs/op, warm sweep %d vs cold %d iterations (%.0f%% saved)\n",
+		*out, snap.Benchmarks[1].AllocsPerOp, warmed, cold, snap.WarmSweep.ReductionPct)
+}

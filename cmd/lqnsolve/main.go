@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -33,7 +35,33 @@ func main() {
 	server := flag.String("server", "AppServF", "case-study server for -trade (AppServS|AppServF|AppServVF)")
 	clients := flag.Int("clients", 500, "client population for -trade")
 	buy := flag.Float64("buy", 0, "buy-client fraction for -trade (0..1)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	opt := lqn.Options{Convergence: *convergence, ExactMVA: *exact, TaskLayering: *layered}
 	model, err := loadModel(*useTrade, *server, *clients, *buy, flag.Args())

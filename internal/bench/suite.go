@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"perfpred/internal/hist"
 	"perfpred/internal/hybrid"
@@ -37,6 +38,7 @@ type Suite struct {
 	rel2          parallel.Once[*hist.Relationship2]
 	histNew       parallel.Once[*hist.ServerModel] // AppServS via relationship 2
 	lqnDemands    parallel.Once[map[workload.RequestType]workload.Demand]
+	lqnPredicts   parallel.Memo[string, *lqn.Result] // arch+workload signature -> solution
 	hybridModel   parallel.Once[*hybrid.Model]
 	laplaceScale  parallel.Once[float64]
 }
@@ -203,14 +205,39 @@ func (s *Suite) LQNDemands() (map[workload.RequestType]workload.Demand, error) {
 	})
 }
 
-// LQNPredict solves the layered model for an architecture and
-// workload using the calibrated demands.
+// LQNPredict solves (and memoises) the layered model for an
+// architecture and workload using the calibrated demands. Several
+// experiments revisit the same (architecture, workload) cells —
+// figure 2, its accuracy table and the percentile study share a grid —
+// so repeats are served from the memo. Each miss is solved cold and
+// independently, so a cell's value never depends on which experiment
+// asked first. Callers share the cached result and must not mutate it.
 func (s *Suite) LQNPredict(arch workload.ServerArch, load workload.Workload) (*lqn.Result, error) {
-	demands, err := s.LQNDemands()
-	if err != nil {
-		return nil, err
+	return s.lqnPredicts.Do(lqnKey(arch, load), func() (*lqn.Result, error) {
+		demands, err := s.LQNDemands()
+		if err != nil {
+			return nil, err
+		}
+		return lqn.PredictTrade(arch, demands, load, s.LQNOpt)
+	})
+}
+
+// lqnKey is the memo key for LQNPredict: the architecture plus every
+// workload parameter the trade model reads.
+func lqnKey(arch workload.ServerArch, load workload.Workload) string {
+	key := arch.Name
+	for _, p := range load {
+		key += fmt.Sprintf("|%s,%d,%g,%g", p.Class.Name, p.Clients, p.ArrivalRate, p.Class.ThinkTimeMean)
+		types := make([]workload.RequestType, 0, len(p.Class.Mix))
+		for rt := range p.Class.Mix {
+			types = append(types, rt)
+		}
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		for _, rt := range types {
+			key += fmt.Sprintf(";%s=%g", rt, p.Class.Mix[rt])
+		}
 	}
-	return lqn.PredictTrade(arch, demands, load, s.LQNOpt)
+	return key
 }
 
 // Hybrid builds (and memoises) the advanced hybrid model over all

@@ -1,0 +1,49 @@
+package hybrid
+
+import (
+	"testing"
+
+	"perfpred/internal/workload"
+)
+
+// BenchmarkHybridBuild measures the §8.5 start-up delay: per-
+// architecture pseudo-data generation over warm-started population
+// sweeps plus calibration. Serial (Workers 1) so the number is
+// comparable across machines.
+func BenchmarkHybridBuild(b *testing.B) {
+	cfg := Config{
+		DB:      workload.CaseStudyDB(),
+		Demands: workload.CaseStudyDemands(),
+		Workers: 1,
+	}
+	servers := workload.CaseStudyServers()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := Build(cfg, servers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(m.Servers) != len(servers) {
+			b.Fatalf("built %d servers, want %d", len(m.Servers), len(servers))
+		}
+	}
+}
+
+// BenchmarkBuildRelationship3 covers the figure 4 input generation:
+// one model, mixed-workload population sweep.
+func BenchmarkBuildRelationship3(b *testing.B) {
+	cfg := Config{
+		DB:      workload.CaseStudyDB(),
+		Demands: workload.CaseStudyDemands(),
+		Workers: 1,
+	}
+	pcts := []float64{0, 10, 20, 30, 40, 50}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BuildRelationship3(cfg, workload.AppServF(), pcts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

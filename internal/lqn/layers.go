@@ -69,6 +69,12 @@ func layeredApplicable(m *Model, r *resolved) error {
 }
 
 // solveLayered runs the layered fixed point and fills a Result.
+//
+// All per-iteration state lives in flat index-addressed slices set up
+// once before the loop — entries in sorted-name order, tasks in model
+// order, processors in sorted-name order — so the fixed point allocates
+// nothing per sweep and every floating-point sum accumulates in a fixed
+// order.
 func solveLayered(m *Model, r *resolved, opt Options) (*Result, error) {
 	if err := layeredApplicable(m, r); err != nil {
 		return nil, err
@@ -83,22 +89,83 @@ func solveLayered(m *Model, r *resolved, opt Options) (*Result, error) {
 	}
 
 	K := len(m.Classes)
-	// Entry bookkeeping in deterministic order.
-	entryNames := make([]string, 0, len(r.entries))
-	for name := range r.entries {
-		entryNames = append(entryNames, name)
+	entryNames := r.entryNames
+	E := len(entryNames)
+	entryIdx := make(map[string]int, E)
+	for i, name := range entryNames {
+		entryIdx[name] = i
 	}
-	sort.Strings(entryNames)
 
-	// Per-class visit ratios (sync-only: resp == util).
-	visits := make([]map[string]float64, K)
+	// Static per-entry data: owning task, host processor, base demand,
+	// and resolved call targets.
+	type entryCall struct {
+		mean    float64
+		target  int // entry index
+		taskIdx int // target's task index
+	}
+	T := len(m.Tasks)
+	taskIdx := make(map[*Task]int, T)
+	for ti, t := range m.Tasks {
+		taskIdx[t] = ti
+	}
+	procNames := make([]string, 0, len(r.processors))
+	for name := range r.processors {
+		procNames = append(procNames, name)
+	}
+	sort.Strings(procNames)
+	P := len(procNames)
+	procIdx := make(map[string]int, P)
+	for pi, name := range procNames {
+		procIdx[name] = pi
+	}
+
+	entryTaskIdx := make([]int, E)
+	entryProcIdx := make([]int, E)
+	base := make([]float64, E) // demand / processor speed
+	calls := make([][]entryCall, E)
+	for i, name := range entryNames {
+		e := r.entries[name]
+		t := r.entryTask[name]
+		entryTaskIdx[i] = taskIdx[t]
+		entryProcIdx[i] = procIdx[t.Processor]
+		base[i] = e.Demand / r.processors[t.Processor].Speed
+		for _, c := range e.Calls {
+			calls[i] = append(calls[i], entryCall{
+				mean:    c.Mean,
+				target:  entryIdx[c.Target],
+				taskIdx: taskIdx[r.entryTask[c.Target]],
+			})
+		}
+	}
+	procDelay := make([]bool, P)
+	procMult := make([]float64, P)
+	for pi, name := range procNames {
+		p := r.processors[name]
+		procDelay[pi] = p.Sched == Delay
+		procMult[pi] = float64(p.Mult)
+	}
+	// taskEntries[ti]: the task's entry indices in declaration order
+	// (the order taskService folds them in).
+	taskEntries := make([][]int, T)
+	for ti, t := range m.Tasks {
+		for _, e := range t.Entries {
+			taskEntries[ti] = append(taskEntries[ti], entryIdx[e.Name])
+		}
+	}
+
+	// Per-class visit ratios (sync-only: resp == util), flattened at
+	// stride E.
+	vis := make([]float64, K*E)
 	for k, cl := range m.Classes {
-		visits[k] = visitRatios(r, cl).resp
+		for name, v := range visitRatios(r, cl).resp {
+			vis[k*E+entryIdx[name]] = v
+		}
 	}
 
 	// topTasks[k]: the set of tasks the class calls directly, with the
 	// per-request visit count.
 	topTasks := make([][]topCall, K)
+	maxTop := 0
 	for k, cl := range m.Classes {
 		agg := map[*Task]float64{}
 		for _, c := range cl.Calls {
@@ -112,72 +179,76 @@ func solveLayered(m *Model, r *resolved, opt Options) (*Result, error) {
 		for _, t := range tasks {
 			topTasks[k] = append(topTasks[k], topCall{task: t, visits: agg[t]})
 		}
+		if len(topTasks[k]) > maxTop {
+			maxTop = len(topTasks[k])
+		}
 	}
 
-	// State.
-	X := make([]float64, K)                // class throughputs
-	waitTask := make(map[string][]float64) // task -> per-class per-visit wait
-	qTask := make(map[string][]float64)    // task -> per-class mean jobs present
-	for _, t := range m.Tasks {
-		waitTask[t.Name] = make([]float64, K)
-		qTask[t.Name] = make([]float64, K)
-	}
-	procQ := make(map[string]float64)    // processor -> mean jobs present
-	procUtil := make(map[string]float64) // processor -> utilisation (reporting)
+	// State, all index-addressed: task ti × class k at ti*K+k, entry i
+	// × class k at k*E+i.
+	X := make([]float64, K)          // class throughputs
+	waitTask := make([]float64, T*K) // per-visit wait at each task
+	qTask := make([]float64, T*K)    // mean jobs of class k present at task
+	procQ := make([]float64, P)      // mean jobs present per processor
+	newQ := make([]float64, P)       // next-round processor queue
+	elAll := make([]float64, K*E)    // per-class entry elapsed times
+	elDone := make([]bool, E)        // memo flags for the current walk
+	rVisitBuf := make([]float64, maxTop)
+	rValidBuf := make([]bool, maxTop)
 	var totalPop int
 	for _, cl := range m.Classes {
 		totalPop += cl.Population
 	}
 
-	// elapsed computes entry elapsed times per class given current
-	// waits and processor inflation, bottom-up over the acyclic graph.
-	elapsed := func(k int) map[string]float64 {
-		out := make(map[string]float64, len(entryNames))
-		var walk func(name string) float64
-		walk = func(name string) float64 {
-			if v, ok := out[name]; ok {
-				return v
+	// elapsed computes entry elapsed times for class k given current
+	// waits and processor queues, bottom-up over the acyclic graph into
+	// elAll[k*E:].
+	elapsed := func(k int) {
+		el := elAll[k*E : k*E+E]
+		for i := range elDone {
+			elDone[i] = false
+		}
+		var walk func(i int) float64
+		walk = func(i int) float64 {
+			if elDone[i] {
+				return el[i]
 			}
-			e := r.entries[name]
-			task := r.entryTask[name]
-			proc := r.processors[task.Processor]
-			base := e.Demand / proc.Speed
+			pi := entryProcIdx[i]
 			var v float64
-			if proc.Sched == Delay {
-				v = base
+			if procDelay[pi] {
+				v = base[i]
 			} else {
 				// MVA-style processor response: the invocation waits
 				// behind the jobs already present (Schweitzer
 				// correction for its own contribution), with the
 				// Seidmann split for multiservers.
-				c := float64(proc.Mult)
-				arr := procQ[proc.Name]
+				c := procMult[pi]
+				arr := procQ[pi]
 				if totalPop > 0 {
 					arr *= float64(totalPop-1) / float64(totalPop)
 				}
-				v = base/c*(1+arr) + base*(c-1)/c
+				v = base[i]/c*(1+arr) + base[i]*(c-1)/c
 			}
-			for _, c := range e.Calls {
-				target := r.entryTask[c.Target]
-				v += c.Mean * (waitTask[target.Name][k] + walk(c.Target))
+			for _, ec := range calls[i] {
+				v += ec.mean * (waitTask[ec.taskIdx*K+k] + walk(ec.target))
 			}
-			out[name] = v
+			el[i] = v
+			elDone[i] = true
 			return v
 		}
-		for _, name := range entryNames {
-			walk(name)
+		for i := 0; i < E; i++ {
+			walk(i)
 		}
-		return out
 	}
 
 	// taskService computes a task's mean service time per class visit:
 	// the visit-weighted elapsed time of its entries as invoked by the
 	// class.
-	taskService := func(t *Task, k int, el map[string]float64) float64 {
+	taskService := func(ti, k int) float64 {
 		var num, den float64
-		for _, e := range t.Entries {
-			v := visits[k][e.Name]
-			num += v * el[e.Name]
+		for _, i := range taskEntries[ti] {
+			v := vis[k*E+i]
+			num += v * elAll[k*E+i]
 			den += v
 		}
 		if den == 0 {
@@ -192,9 +263,8 @@ func solveLayered(m *Model, r *resolved, opt Options) (*Result, error) {
 	iter := 0
 	for ; iter < maxIter; iter++ {
 		// Per-class elapsed times under current waits/utilisations.
-		els := make([]map[string]float64, K)
 		for k := range m.Classes {
-			els[k] = elapsed(k)
+			elapsed(k)
 		}
 
 		// Software submodel per class: stations are the directly-called
@@ -207,14 +277,10 @@ func solveLayered(m *Model, r *resolved, opt Options) (*Result, error) {
 				continue
 			}
 			var rTotal float64
-			type visitResp struct {
-				task   *Task
-				visits float64
-				rVisit float64
-			}
-			var resps []visitResp
-			for _, tc := range topTasks[k] {
-				st := taskService(tc.task, k, els[k])
+			for tci, tc := range topTasks[k] {
+				rValidBuf[tci] = false
+				ti := taskIdx[tc.task]
+				st := taskService(ti, k)
 				if st <= 0 {
 					continue
 				}
@@ -224,7 +290,7 @@ func solveLayered(m *Model, r *resolved, opt Options) (*Result, error) {
 				// correction for the arriving job's own class.
 				arriving := 0.0
 				for j := 0; j < K; j++ {
-					q := qTask[tc.task.Name][j]
+					q := qTask[ti*K+j]
 					if j == k {
 						q *= math.Max(0, float64(cl.Population-1)) / float64(cl.Population)
 					}
@@ -233,47 +299,49 @@ func solveLayered(m *Model, r *resolved, opt Options) (*Result, error) {
 				// Seidmann multiserver: queueing portion st/c sees the
 				// arriving jobs; the rest is residual delay.
 				rVisit := st/c*(1+arriving) + st*(c-1)/c
-				waitTask[tc.task.Name][k] = rVisit - st
-				if waitTask[tc.task.Name][k] < 0 {
-					waitTask[tc.task.Name][k] = 0
+				waitTask[ti*K+k] = rVisit - st
+				if waitTask[ti*K+k] < 0 {
+					waitTask[ti*K+k] = 0
 				}
 				rTotal += tc.visits * rVisit
-				resps = append(resps, visitResp{task: tc.task, visits: tc.visits, rVisit: rVisit})
+				rVisitBuf[tci], rValidBuf[tci] = rVisit, true
 			}
 			R[k] = rTotal
 			X[k] = float64(cl.Population) / (cl.Think + rTotal)
 			// Little's law per station: jobs present = X × visit response.
-			for _, vr := range resps {
-				qTask[vr.task.Name][k] = X[k] * vr.visits * vr.rVisit
+			for tci, tc := range topTasks[k] {
+				if rValidBuf[tci] {
+					qTask[taskIdx[tc.task]*K+k] = X[k] * tc.visits * rVisitBuf[tci]
+				}
 			}
 		}
 
 		// Lower-layer waits: tasks called by other tasks queue their
 		// callers' threads. Per-visit wait from the multiserver
 		// approximation with throughput-derived occupancy.
-		for _, t := range m.Tasks {
+		for ti, t := range m.Tasks {
 			for k := range m.Classes {
 				if isTop(topTasks[k], t) {
 					continue // handled in the software submodel
 				}
 				// Total visits to t's entries for class k.
 				var vTot, sAvg float64
-				for _, e := range t.Entries {
-					vTot += visits[k][e.Name]
+				for _, i := range taskEntries[ti] {
+					vTot += vis[k*E+i]
 				}
 				if vTot == 0 {
-					waitTask[t.Name][k] = 0
+					waitTask[ti*K+k] = 0
 					continue
 				}
-				sAvg = taskService(t, k, els[k])
+				sAvg = taskService(ti, k)
 				// Occupancy from all classes.
 				occ := 0.0
 				for j := 0; j < K; j++ {
 					var vj float64
-					for _, e := range t.Entries {
-						vj += visits[j][e.Name]
+					for _, i := range taskEntries[ti] {
+						vj += vis[j*E+i]
 					}
-					occ += X[j] * vj * taskService(t, j, els[j])
+					occ += X[j] * vj * taskService(ti, j)
 				}
 				c := float64(t.Mult)
 				rho := occ / c
@@ -282,46 +350,34 @@ func solveLayered(m *Model, r *resolved, opt Options) (*Result, error) {
 				}
 				// Wait per visit: Erlang-C-flavoured approximation
 				// rho^c/(1-rho) × service/c.
-				waitTask[t.Name][k] = sAvg / c * math.Pow(rho, c) / (1 - rho)
+				waitTask[ti*K+k] = sAvg / c * math.Pow(rho, c) / (1 - rho)
 			}
 		}
 
-		// Hardware state for the next round: utilisation (reporting)
-		// and mean jobs present (Little's law over the per-invocation
-		// processor responses just used).
-		for name := range r.processors {
-			procUtil[name] = 0
+		// Processor state for the next round: mean jobs present
+		// (Little's law over the per-invocation processor responses
+		// just used).
+		for pi := range newQ {
+			newQ[pi] = 0
 		}
-		newQ := make(map[string]float64, len(r.processors))
 		for k := range m.Classes {
-			el := els[k]
-			_ = el
-			for _, name := range entryNames {
-				e := r.entries[name]
-				task := r.entryTask[name]
-				proc := r.processors[task.Processor]
-				if proc.Sched == Delay {
+			for i := 0; i < E; i++ {
+				pi := entryProcIdx[i]
+				if procDelay[pi] {
 					continue
 				}
-				procUtil[proc.Name] += X[k] * visits[k][name] * e.Demand / proc.Speed / float64(proc.Mult)
-				c := float64(proc.Mult)
-				base := e.Demand / proc.Speed
-				arr := procQ[proc.Name]
+				c := procMult[pi]
+				arr := procQ[pi]
 				if totalPop > 0 {
 					arr *= float64(totalPop-1) / float64(totalPop)
 				}
-				resp := base/c*(1+arr) + base*(c-1)/c
-				newQ[proc.Name] += X[k] * visits[k][name] * resp
-			}
-		}
-		for name, u := range procUtil {
-			if u > utilCap {
-				procUtil[name] = utilCap
+				resp := base[i]/c*(1+arr) + base[i]*(c-1)/c
+				newQ[pi] += X[k] * vis[k*E+i] * resp
 			}
 		}
 		// Damped queue update keeps the fixed point stable.
-		for name := range r.processors {
-			procQ[name] = 0.5*procQ[name] + 0.5*newQ[name]
+		for pi := range procQ {
+			procQ[pi] = 0.5*procQ[pi] + 0.5*newQ[pi]
 		}
 
 		maxDR := 0.0
@@ -329,7 +385,6 @@ func solveLayered(m *Model, r *resolved, opt Options) (*Result, error) {
 			if d := math.Abs(R[k] - prevR[k]); d > maxDR {
 				maxDR = d
 			}
-			// Damped update for stability.
 			prevR[k] = R[k]
 		}
 		if maxDR < convergence {
@@ -349,7 +404,8 @@ func solveLayered(m *Model, r *resolved, opt Options) (*Result, error) {
 	for k, cl := range m.Classes {
 		res.Classes[cl.Name] = ClassResult{ResponseTime: R[k], Throughput: X[k]}
 	}
-	for name, p := range r.processors {
+	for _, name := range procNames {
+		p := r.processors[name]
 		var total float64
 		per := make(map[string]float64, K)
 		for k, cl := range m.Classes {
@@ -358,7 +414,7 @@ func solveLayered(m *Model, r *resolved, opt Options) (*Result, error) {
 				if r.entryTask[ename].Processor != name {
 					continue
 				}
-				u += X[k] * visits[k][ename] * r.entries[ename].Demand / p.Speed / float64(p.Mult)
+				u += X[k] * vis[k*E+entryIdx[ename]] * r.entries[ename].Demand / p.Speed / float64(p.Mult)
 			}
 			per[cl.Name] = u
 			total += u

@@ -3,6 +3,7 @@ package lqn
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Scheduling selects a processor's queueing discipline.
@@ -145,6 +146,10 @@ type resolved struct {
 	entries    map[string]*Entry
 	entryTask  map[string]*Task
 	processors map[string]*Processor
+	// entryNames is every entry name in sorted order, so demand folding
+	// and layered solving iterate entries deterministically instead of
+	// in map order.
+	entryNames []string
 }
 
 // Validate checks structural integrity: unique names, resolvable
@@ -272,6 +277,11 @@ func (m *Model) resolve() (*resolved, error) {
 	if err := m.checkAcyclic(r); err != nil {
 		return nil, err
 	}
+	r.entryNames = make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		r.entryNames = append(r.entryNames, name)
+	}
+	sort.Strings(r.entryNames)
 	return r, nil
 }
 

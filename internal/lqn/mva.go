@@ -2,74 +2,121 @@ package lqn
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
-
-// mvaStation is one service centre of the flattened closed network.
-type mvaStation struct {
-	name     string
-	queueing bool // false: pure delay (infinite server)
-	servers  int  // >= 1; multiservers use the Seidmann transformation
-	// demand is the per-class caller-visible service demand (seconds
-	// per top-level request).
-	demand []float64
-	// extraDemand is per-class additional work the station executes
-	// per top-level request that the caller does not wait for
-	// (second-phase service and asynchronous subtrees). It consumes
-	// capacity, slowing everyone, without appearing in the owner's
-	// response time.
-	extraDemand []float64
-	// openUtil is exogenous utilisation from open (Poisson) classes,
-	// pre-computed by the caller; it must be < 1.
-	openUtil float64
-}
-
-// mvaResult carries the converged network solution.
-type mvaResult struct {
-	// X and R are per-class throughputs and response times (think time
-	// excluded).
-	X, R []float64
-	// Q[i][k] is class k's mean customers at station i.
-	Q [][]float64
-	// U[i] is station i's per-server utilisation including open and
-	// non-response work.
-	U []float64
-	// Iterations actually used, and whether the criterion was met.
-	Iterations int
-	Converged  bool
-}
 
 // utilCap bounds the background-load denominator so transient
 // overloads during iteration cannot divide by zero.
 const utilCap = 0.999
 
-// solveMVA runs multiclass Schweitzer approximate MVA on a closed
-// network with per-class populations pop, think times think and
-// priorities prio (higher pre-empts lower; equal shares fairly).
-// Station background load — open-class utilisation, second phases,
-// async subtrees and higher-priority work — inflates a class's
-// effective demand by 1/(1−ρ_background), the standard shadow-server
-// approximation. Iteration stops when every class's response time
-// changes by less than convergence seconds (the paper's LQNS
-// criterion), or after maxIter sweeps.
-func solveMVA(stations []*mvaStation, pop []int, think []float64, prio []int, convergence float64, maxIter int) (*mvaResult, error) {
-	K := len(pop)
-	if K == 0 || len(think) != K {
-		return nil, errors.New("lqn: mva needs matching populations and think times")
+// mvaWorkspace is the reusable state of the flattened MVA kernel. All
+// matrices are stride-indexed contiguous slices: station i, class k
+// lives at i*K+k. Buffers grow on demand and are reused across solves,
+// so repeated solves on same-shaped models allocate nothing.
+//
+// After a converged Schweitzer solve the queue-length matrix q holds
+// the solution; a warm-started follow-up solve on a same-shaped model
+// seeds its iteration from it (see solveSchweitzer).
+type mvaWorkspace struct {
+	// Seidmann split of the per-class demands: queueing portion D/c and
+	// residual delay D*(c-1)/c.
+	dq, dd []float64 // I×K
+	// q is the Schweitzer iterate: class k's mean customers at station
+	// i. It survives between solves as the warm-start seed.
+	q   []float64 // I×K
+	rik []float64 // I×K per-station response times
+	// Per-class solution vectors.
+	X, R, prevR []float64 // K
+	think       []float64 // K
+	pop         []int     // K
+	prio        []int     // K
+	// Per-station vectors.
+	U        []float64 // I per-server utilisation
+	openUtil []float64 // I exogenous open-class utilisation
+	bg       []float64 // I hoisted per-class-update background load
+	bgFree   []bool    // I station provably has zero static background
+	closedQ  []float64 // I total closed queue (open-class response path)
+	// hasHigher[k] reports whether any class outranks class k — with
+	// bgFree it selects the fast inflation-free path.
+	hasHigher []bool // K
+
+	// Solution metadata.
+	iterations int
+	converged  bool
+
+	// Warm-start bookkeeping: the shape q was converged for.
+	warmI, warmK int
+	warmOK       bool
+}
+
+// growF returns s with length n, reusing its backing array when it is
+// large enough.
+func growF(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
 	}
-	if len(prio) != K {
-		return nil, errors.New("lqn: mva needs per-class priorities")
+	return make([]float64, n)
+}
+
+func growI(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
 	}
-	for _, st := range stations {
-		if len(st.demand) != K || len(st.extraDemand) != K {
-			return nil, errors.New("lqn: station demand vector length mismatch")
+	return make([]int, n)
+}
+
+func growB(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
+}
+
+// invalidateWarm forgets the warm-start seed.
+func (ws *mvaWorkspace) invalidateWarm() { ws.warmOK = false }
+
+// background returns the utilisation class k must defer to at station
+// i: open load, everyone's non-response work, and strictly-higher-
+// priority response work.
+func (ws *mvaWorkspace) background(p *solvePlan, i, k, K int) float64 {
+	u := ws.openUtil[i]
+	c := float64(p.stServers[i])
+	for j := 0; j < K; j++ {
+		u += ws.X[j] * p.stExtra[i*K+j] / c
+		if ws.prio[j] > ws.prio[k] {
+			u += ws.X[j] * p.stDemand[i*K+j] / c
 		}
-		if st.servers < 1 {
-			return nil, errors.New("lqn: station needs at least one server")
-		}
-		if st.openUtil < 0 || st.openUtil >= 1 {
-			return nil, errors.New("lqn: open-class utilisation must be in [0,1)")
-		}
+	}
+	if u > utilCap {
+		return utilCap
+	}
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// solveSchweitzer runs multiclass Schweitzer approximate MVA on the
+// plan's closed network. Station background load — open-class
+// utilisation, second phases, async subtrees and higher-priority work
+// — inflates a class's effective demand by 1/(1−ρ_background), the
+// standard shadow-server approximation. Iteration stops when every
+// class's response time changes by less than convergence seconds (the
+// paper's LQNS criterion), or after maxIter sweeps.
+//
+// warm seeds the queue-length iterate from the previous converged
+// solve when the shapes match — the initial guess changes, the fixed
+// point does not, so adjacent-population sweeps converge in a handful
+// of sweeps instead of dozens. damping in (0,1) blends each queue
+// update with the previous iterate (successive substitution), damping
+// the oscillation that inflates iteration counts at fine criteria;
+// 0 keeps the undamped legacy iteration bit-for-bit.
+func (ws *mvaWorkspace) solveSchweitzer(p *solvePlan, convergence float64, maxIter int, damping float64, warm bool) error {
+	K := len(p.closed)
+	I := len(p.procNames)
+	if K == 0 {
+		return errors.New("lqn: mva needs matching populations and think times")
 	}
 	if convergence <= 0 {
 		convergence = 1e-6
@@ -78,136 +125,255 @@ func solveMVA(stations []*mvaStation, pop []int, think []float64, prio []int, co
 		maxIter = 10000
 	}
 
-	I := len(stations)
 	// Seidmann split for multiservers: queueing portion D/c, delay
 	// portion D*(c-1)/c.
-	dq := make([][]float64, I)
-	dd := make([][]float64, I)
-	for i, st := range stations {
-		dq[i] = make([]float64, K)
-		dd[i] = make([]float64, K)
+	ws.dq = growF(ws.dq, I*K)
+	ws.dd = growF(ws.dd, I*K)
+	for i := 0; i < I; i++ {
 		for k := 0; k < K; k++ {
-			if !st.queueing {
-				dd[i][k] = st.demand[k]
+			if !p.stQueueing[i] {
+				ws.dq[i*K+k] = 0
+				ws.dd[i*K+k] = p.stDemand[i*K+k]
 				continue
 			}
-			c := float64(st.servers)
-			dq[i][k] = st.demand[k] / c
-			dd[i][k] = st.demand[k] * (c - 1) / c
+			c := float64(p.stServers[i])
+			ws.dq[i*K+k] = p.stDemand[i*K+k] / c
+			ws.dd[i*K+k] = p.stDemand[i*K+k] * (c - 1) / c
 		}
 	}
 
-	q := make([][]float64, I)
-	for i := range q {
-		q[i] = make([]float64, K)
-		for k := 0; k < K; k++ {
-			if pop[k] > 0 {
-				q[i][k] = float64(pop[k]) / float64(I)
+	useWarm := warm && ws.warmOK && ws.warmI == I && ws.warmK == K
+	ws.warmOK = false
+	ws.q = growF(ws.q, I*K)
+	ws.X = growF(ws.X, K)
+	ws.R = growF(ws.R, K)
+	ws.prevR = growF(ws.prevR, K)
+	ws.rik = growF(ws.rik, I*K)
+	for k := 0; k < K; k++ {
+		if !useWarm || ws.pop[k] == 0 {
+			// Cold start (and zero-population classes under a warm one,
+			// whose stale queues would otherwise pollute the arriving
+			// sums): the uniform 1/I spread of the legacy solver.
+			ws.X[k] = 0
+			for i := 0; i < I; i++ {
+				ws.q[i*K+k] = 0
+				if ws.pop[k] > 0 {
+					ws.q[i*K+k] = float64(ws.pop[k]) / float64(I)
+				}
 			}
 		}
+		ws.R[k] = 0
+		// prevR starts at zero either way, so convergence is still
+		// judged on two consecutive sweeps of the new parameters.
+		ws.prevR[k] = 0
 	}
 
-	res := &mvaResult{
-		X: make([]float64, K),
-		R: make([]float64, K),
+	// Static background analysis: a station with no open load and no
+	// non-response work inflicts zero background on any class no class
+	// outranks, so the O(K) background scan is skipped entirely on the
+	// hot path (exactly 1/(1-0) = 1 inflation).
+	ws.bg = growF(ws.bg, I)
+	ws.bgFree = growB(ws.bgFree, I)
+	for i := 0; i < I; i++ {
+		free := ws.openUtil[i] == 0
+		for j := 0; free && j < K; j++ {
+			free = p.stExtra[i*K+j] == 0
+		}
+		ws.bgFree[i] = free
 	}
-	rik := make([][]float64, I)
-	for i := range rik {
-		rik[i] = make([]float64, K)
-	}
-	prevR := make([]float64, K)
-
-	// background returns the utilisation class k must defer to at
-	// station i: open load, everyone's non-response work, and
-	// strictly-higher-priority response work.
-	background := func(i, k int, st *mvaStation) float64 {
-		u := st.openUtil
-		c := float64(st.servers)
+	ws.hasHigher = growB(ws.hasHigher, K)
+	for k := 0; k < K; k++ {
+		higher := false
 		for j := 0; j < K; j++ {
-			u += res.X[j] * st.extraDemand[j] / c
-			if prio[j] > prio[k] {
-				u += res.X[j] * st.demand[j] / c
+			if ws.prio[j] > ws.prio[k] {
+				higher = true
+				break
 			}
 		}
-		if u > utilCap {
-			return utilCap
-		}
-		if u < 0 {
-			return 0
-		}
-		return u
+		ws.hasHigher[k] = higher
 	}
 
 	iter := 0
+	ws.converged = false
 	for ; iter < maxIter; iter++ {
 		maxDQ := 0.0
 		for k := 0; k < K; k++ {
-			if pop[k] == 0 {
-				res.X[k], res.R[k] = 0, 0
+			if ws.pop[k] == 0 {
+				ws.X[k], ws.R[k] = 0, 0
 				continue
 			}
+			// Hoisted background pass: one O(K) scan per needed station
+			// per class update, instead of a closure call inside the
+			// station loop. X and q are not mutated until after the
+			// station loop, so the values are identical.
+			if ws.hasHigher[k] {
+				for i := 0; i < I; i++ {
+					if p.stQueueing[i] && ws.dq[i*K+k] > 0 {
+						ws.bg[i] = ws.background(p, i, k, K)
+					}
+				}
+			} else {
+				for i := 0; i < I; i++ {
+					if p.stQueueing[i] && ws.dq[i*K+k] > 0 && !ws.bgFree[i] {
+						ws.bg[i] = ws.background(p, i, k, K)
+					}
+				}
+			}
 			var rTotal float64
-			for i, st := range stations {
+			for i := 0; i < I; i++ {
 				var r float64
-				if st.queueing && dq[i][k] > 0 {
+				if p.stQueueing[i] && ws.dq[i*K+k] > 0 {
 					// Schweitzer estimate of the queue seen at
 					// arrival: same-or-higher priority classes only —
 					// lower-priority work is pre-empted, not queued
 					// behind.
 					arriving := 0.0
 					for j := 0; j < K; j++ {
-						if prio[j] < prio[k] {
+						if ws.prio[j] < ws.prio[k] {
 							continue
 						}
 						if j == k {
-							arriving += q[i][j] * float64(pop[k]-1) / float64(pop[k])
+							arriving += ws.q[i*K+j] * float64(ws.pop[k]-1) / float64(ws.pop[k])
 						} else {
-							arriving += q[i][j]
+							arriving += ws.q[i*K+j]
 						}
 					}
-					inflate := 1 / (1 - background(i, k, st))
-					r = dq[i][k]*inflate*(1+arriving) + dd[i][k]
+					if ws.bgFree[i] && !ws.hasHigher[k] {
+						// Background provably zero: 1/(1−0) = 1, so the
+						// inflation multiply is dropped (bit-identical).
+						r = ws.dq[i*K+k]*(1+arriving) + ws.dd[i*K+k]
+					} else {
+						inflate := 1 / (1 - ws.bg[i])
+						r = ws.dq[i*K+k]*inflate*(1+arriving) + ws.dd[i*K+k]
+					}
 				} else {
-					r = dq[i][k] + dd[i][k]
+					r = ws.dq[i*K+k] + ws.dd[i*K+k]
 				}
-				rik[i][k] = r
+				ws.rik[i*K+k] = r
 				rTotal += r
 			}
-			res.R[k] = rTotal
-			res.X[k] = float64(pop[k]) / (think[k] + rTotal)
-			for i := range stations {
-				nq := res.X[k] * rik[i][k]
-				if d := math.Abs(nq - q[i][k]); d > maxDQ {
+			ws.R[k] = rTotal
+			ws.X[k] = float64(ws.pop[k]) / (ws.think[k] + rTotal)
+			for i := 0; i < I; i++ {
+				nq := ws.X[k] * ws.rik[i*K+k]
+				if damping > 0 {
+					nq = damping*ws.q[i*K+k] + (1-damping)*nq
+				}
+				if d := math.Abs(nq - ws.q[i*K+k]); d > maxDQ {
 					maxDQ = d
 				}
-				q[i][k] = nq
+				ws.q[i*K+k] = nq
 			}
 		}
 		maxDR := 0.0
 		for k := 0; k < K; k++ {
-			if d := math.Abs(res.R[k] - prevR[k]); d > maxDR {
+			if d := math.Abs(ws.R[k] - ws.prevR[k]); d > maxDR {
 				maxDR = d
 			}
-			prevR[k] = res.R[k]
+			ws.prevR[k] = ws.R[k]
 		}
 		// The queue-length tolerance scales with the response-time
 		// criterion so a coarse criterion (the paper's 20 ms) actually
 		// stops early — the source of its small-spacing noise.
 		if maxDR < convergence && maxDQ < math.Max(1e-6, convergence) {
-			res.Converged = true
+			ws.converged = true
 			iter++
 			break
 		}
 	}
-	res.Iterations = iter
-	res.Q = q
-	res.U = make([]float64, I)
-	for i, st := range stations {
-		u := st.openUtil
+	ws.iterations = iter
+
+	ws.U = growF(ws.U, I)
+	for i := 0; i < I; i++ {
+		u := ws.openUtil[i]
 		for k := 0; k < K; k++ {
-			u += res.X[k] * (st.demand[k] + st.extraDemand[k]) / float64(st.servers)
+			u += ws.X[k] * (p.stDemand[i*K+k] + p.stExtra[i*K+k]) / float64(p.stServers[i])
 		}
-		res.U[i] = u
+		ws.U[i] = u
 	}
-	return res, nil
+
+	ws.warmI, ws.warmK = I, K
+	ws.warmOK = ws.converged
+	return nil
+}
+
+// exactApplicable rejects features the exact recursion does not cover.
+func (p *solvePlan) exactApplicable(ws *mvaWorkspace) error {
+	if len(p.closed) != 1 || len(p.open) != 0 {
+		return errors.New("lqn: exact MVA supports exactly one closed class and no open classes")
+	}
+	for i := range p.procNames {
+		if p.stExtra[i] != 0 {
+			return errors.New("lqn: exact MVA does not support second phases or asynchronous calls")
+		}
+		if ws.openUtil[i] != 0 {
+			return errors.New("lqn: exact MVA does not support open load")
+		}
+	}
+	return nil
+}
+
+// solveExact runs the exact single-class MVA recursion (with the
+// Seidmann multiserver transformation), for the ablation comparison
+// against the Schweitzer approximation. K is 1, so the flattened
+// matrices are plain per-station vectors.
+func (ws *mvaWorkspace) solveExact(p *solvePlan) error {
+	pop := ws.pop[0]
+	think := ws.think[0]
+	if pop < 0 {
+		return fmt.Errorf("lqn: negative population %d", pop)
+	}
+	I := len(p.procNames)
+	ws.dq = growF(ws.dq, I)
+	ws.dd = growF(ws.dd, I)
+	for i := 0; i < I; i++ {
+		if !p.stQueueing[i] {
+			ws.dq[i] = 0
+			ws.dd[i] = p.stDemand[i]
+			continue
+		}
+		c := float64(p.stServers[i])
+		ws.dq[i] = p.stDemand[i] / c
+		ws.dd[i] = p.stDemand[i] * (c - 1) / c
+	}
+	ws.q = growF(ws.q, I)
+	for i := range ws.q {
+		ws.q[i] = 0
+	}
+	var x, rTotal float64
+	for n := 1; n <= pop; n++ {
+		rTotal = 0
+		for i := 0; i < I; i++ {
+			var r float64
+			if ws.dq[i] > 0 {
+				r = ws.dq[i]*(1+ws.q[i]) + ws.dd[i]
+			} else {
+				r = ws.dd[i]
+			}
+			rTotal += r
+		}
+		x = float64(n) / (think + rTotal)
+		for i := 0; i < I; i++ {
+			var r float64
+			if ws.dq[i] > 0 {
+				r = ws.dq[i]*(1+ws.q[i]) + ws.dd[i]
+			} else {
+				r = ws.dd[i]
+			}
+			ws.q[i] = x * r
+		}
+	}
+	ws.X = growF(ws.X, 1)
+	ws.R = growF(ws.R, 1)
+	ws.X[0], ws.R[0] = x, rTotal
+	ws.U = growF(ws.U, I)
+	for i := 0; i < I; i++ {
+		ws.U[i] = x * p.stDemand[i] / float64(p.stServers[i])
+	}
+	ws.iterations = pop
+	ws.converged = true
+	// The exact recursion's queue lengths are not a Schweitzer iterate;
+	// never warm-start from them.
+	ws.invalidateWarm()
+	return nil
 }

@@ -34,9 +34,15 @@ func MaxClientsSearch(m *Model, className string, goalRT float64, limit int, opt
 	orig := target.Population
 	defer func() { target.Population = orig }()
 
+	// The probe sequence solves the same model dozens of times varying
+	// one population; a warm-started solver workspace caches the
+	// resolution and seeds each solve from the last, which is where the
+	// §8.5 search cost actually goes.
+	solver := NewSolver()
+	solver.WarmStart = true
 	evalAt := func(n int) (bool, error) {
 		target.Population = n
-		res, err := Solve(m, opt)
+		res, err := solver.Solve(m, opt)
 		if err != nil {
 			return false, err
 		}

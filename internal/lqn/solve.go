@@ -1,9 +1,6 @@
 package lqn
 
 import (
-	"errors"
-	"fmt"
-	"sort"
 	"time"
 )
 
@@ -28,6 +25,13 @@ type Options struct {
 	// offered concurrency. Supports closed classes and synchronous
 	// calls only. See layers.go.
 	TaskLayering bool
+	// Damping in (0,1) blends each Schweitzer queue-length update with
+	// the previous iterate (damped successive substitution): next =
+	// Damping*old + (1-Damping)*new. It tames the oscillation that
+	// inflates iteration counts at fine convergence criteria on
+	// near-saturated models. Zero keeps the classic undamped iteration
+	// bit-for-bit; values outside [0,1) are rejected.
+	Damping float64
 }
 
 // ClassResult is one service class's predicted steady-state metrics.
@@ -81,241 +85,18 @@ func (r *Result) TotalThroughput() float64 {
 	return x
 }
 
-// Solve evaluates the model and returns steady-state predictions.
+// Solve evaluates the model and returns steady-state predictions. It
+// is the one-shot entry point: each call resolves the model from
+// scratch. Sequences of related solves (sweeps, calibration loops)
+// should hold a Solver instead, which caches the resolution and reuses
+// its workspace across calls.
 func Solve(m *Model, opt Options) (*Result, error) {
-	start := time.Now()
-	r, err := m.resolve()
+	var s Solver
+	res, err := s.Solve(m, opt)
 	if err != nil {
 		return nil, err
 	}
-	if opt.TaskLayering {
-		res, err := solveLayered(m, r, opt)
-		if err != nil {
-			return nil, err
-		}
-		res.SolveTime = time.Since(start)
-		return res, nil
-	}
-
-	var closed, open []*Class
-	for _, cl := range m.Classes {
-		if cl.Open() {
-			open = append(open, cl)
-		} else {
-			closed = append(closed, cl)
-		}
-	}
-
-	demandsOf := make(map[string]classDemands, len(m.Classes))
-	for _, cl := range m.Classes {
-		demandsOf[cl.Name] = processorDemands(r, visitRatios(r, cl))
-	}
-
-	// Stations in deterministic order.
-	procNames := make([]string, 0, len(m.Processors))
-	for _, p := range m.Processors {
-		procNames = append(procNames, p.Name)
-	}
-	sort.Strings(procNames)
-
-	// Open-class utilisation per station; validates stability.
-	openUtil := make(map[string]float64, len(procNames))
-	for _, cl := range open {
-		d := demandsOf[cl.Name]
-		for _, name := range procNames {
-			p := r.processors[name]
-			if p.Sched == Delay {
-				continue
-			}
-			openUtil[name] += cl.ArrivalRate * d.util[name] / float64(p.Mult)
-		}
-	}
-	for _, name := range procNames {
-		if openUtil[name] >= 1 {
-			return nil, fmt.Errorf("lqn: open classes saturate processor %q (utilisation %.3f)", name, openUtil[name])
-		}
-	}
-
-	K := len(closed)
-	pop := make([]int, K)
-	think := make([]float64, K)
-	prio := make([]int, K)
-	for k, cl := range closed {
-		pop[k] = cl.Population
-		think[k] = cl.Think
-		prio[k] = cl.Priority
-	}
-	stations := make([]*mvaStation, 0, len(procNames))
-	for _, name := range procNames {
-		p := r.processors[name]
-		st := &mvaStation{
-			name:        name,
-			queueing:    p.Sched != Delay,
-			servers:     p.Mult,
-			demand:      make([]float64, K),
-			extraDemand: make([]float64, K),
-			openUtil:    openUtil[name],
-		}
-		for k, cl := range closed {
-			d := demandsOf[cl.Name]
-			st.demand[k] = d.resp[name]
-			st.extraDemand[k] = d.util[name] - d.resp[name]
-		}
-		stations = append(stations, st)
-	}
-
-	var mv *mvaResult
-	if K == 0 {
-		// Purely open model: no closed iteration needed.
-		mv = &mvaResult{Converged: true, Q: make([][]float64, len(stations)), U: make([]float64, len(stations))}
-		for i, st := range stations {
-			mv.Q[i] = nil
-			mv.U[i] = st.openUtil
-		}
-	} else if opt.ExactMVA {
-		if err := exactMVAApplicable(closed, open, stations); err != nil {
-			return nil, err
-		}
-		mv, err = solveExactMVA(stations, pop[0], think[0])
-	} else {
-		mv, err = solveMVA(stations, pop, think, prio, opt.Convergence, opt.MaxIterations)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	res := &Result{
-		Classes:            make(map[string]ClassResult, len(m.Classes)),
-		ProcessorUtil:      make(map[string]float64, len(stations)),
-		ClassProcessorUtil: make(map[string]map[string]float64, len(stations)),
-		Iterations:         mv.Iterations,
-		Converged:          mv.Converged,
-	}
-	for k, cl := range closed {
-		res.Classes[cl.Name] = ClassResult{ResponseTime: mv.R[k], Throughput: mv.X[k]}
-	}
-
-	// Open-class response times by the standard mixed-network
-	// approximation: the arriving open request sees the closed queue
-	// on top of the open load.
-	closedQ := make(map[string]float64, len(stations))
-	for i, st := range stations {
-		var total float64
-		for k := range closed {
-			total += mv.Q[i][k]
-		}
-		closedQ[st.name] = total
-	}
-	for _, cl := range open {
-		d := demandsOf[cl.Name]
-		var rt float64
-		for _, name := range procNames {
-			p := r.processors[name]
-			dr := d.resp[name]
-			if dr == 0 {
-				continue
-			}
-			if p.Sched == Delay {
-				rt += dr
-				continue
-			}
-			c := float64(p.Mult)
-			queueing := dr / c
-			residual := dr * (c - 1) / c
-			rt += queueing*(1+closedQ[name])/(1-openUtil[name]) + residual
-		}
-		res.Classes[cl.Name] = ClassResult{ResponseTime: rt, Throughput: cl.ArrivalRate}
-	}
-
-	for i, st := range stations {
-		res.ProcessorUtil[st.name] = mv.U[i]
-		per := make(map[string]float64, len(m.Classes))
-		for k, cl := range closed {
-			per[cl.Name] = mv.X[k] * (st.demand[k] + st.extraDemand[k]) / float64(st.servers)
-		}
-		for _, cl := range open {
-			d := demandsOf[cl.Name]
-			per[cl.Name] = cl.ArrivalRate * d.util[st.name] / float64(st.servers)
-		}
-		res.ClassProcessorUtil[st.name] = per
-	}
-	res.SolveTime = time.Since(start)
-	return res, nil
-}
-
-// exactMVAApplicable rejects features the exact recursion does not
-// cover.
-func exactMVAApplicable(closed, open []*Class, stations []*mvaStation) error {
-	if len(closed) != 1 || len(open) != 0 {
-		return errors.New("lqn: exact MVA supports exactly one closed class and no open classes")
-	}
-	for _, st := range stations {
-		if st.extraDemand[0] != 0 {
-			return errors.New("lqn: exact MVA does not support second phases or asynchronous calls")
-		}
-		if st.openUtil != 0 {
-			return errors.New("lqn: exact MVA does not support open load")
-		}
-	}
-	return nil
-}
-
-// solveExactMVA runs the exact single-class MVA recursion (with the
-// Seidmann multiserver transformation), for the ablation comparison
-// against the Schweitzer approximation.
-func solveExactMVA(stations []*mvaStation, pop int, think float64) (*mvaResult, error) {
-	if pop < 0 {
-		return nil, fmt.Errorf("lqn: negative population %d", pop)
-	}
-	I := len(stations)
-	dq := make([]float64, I)
-	dd := make([]float64, I)
-	for i, st := range stations {
-		if !st.queueing {
-			dd[i] = st.demand[0]
-			continue
-		}
-		c := float64(st.servers)
-		dq[i] = st.demand[0] / c
-		dd[i] = st.demand[0] * (c - 1) / c
-	}
-	q := make([]float64, I)
-	var x, rTotal float64
-	for n := 1; n <= pop; n++ {
-		rTotal = 0
-		for i := range stations {
-			var r float64
-			if dq[i] > 0 {
-				r = dq[i]*(1+q[i]) + dd[i]
-			} else {
-				r = dd[i]
-			}
-			rTotal += r
-		}
-		x = float64(n) / (think + rTotal)
-		for i := range stations {
-			var r float64
-			if dq[i] > 0 {
-				r = dq[i]*(1+q[i]) + dd[i]
-			} else {
-				r = dd[i]
-			}
-			q[i] = x * r
-		}
-	}
-	res := &mvaResult{
-		X:          []float64{x},
-		R:          []float64{rTotal},
-		U:          make([]float64, I),
-		Iterations: pop,
-		Converged:  true,
-	}
-	res.Q = make([][]float64, I)
-	for i := range res.Q {
-		res.Q[i] = []float64{q[i]}
-	}
-	for i, st := range stations {
-		res.U[i] = x * st.demand[0] / float64(st.servers)
-	}
+	// The Solver is function-local, so its reused result escapes
+	// nowhere else; hand it to the caller directly.
 	return res, nil
 }

@@ -1,0 +1,164 @@
+package lqn
+
+import (
+	"testing"
+
+	"perfpred/internal/workload"
+)
+
+func benchTradeModel(b *testing.B, clients int) *Model {
+	b.Helper()
+	m, err := NewTradeModel(workload.AppServF(), workload.CaseStudyDB(), workload.CaseStudyDemands(), workload.MixedWorkload(clients, 0.25))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkSolve is the one-shot entry point: full resolution plus the
+// MVA iteration on every call, the cost a naive sweep pays per cell.
+func BenchmarkSolve(b *testing.B) {
+	m := benchTradeModel(b, 400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(m, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverSolve is the retained-workspace steady state: cached
+// plan, reused buffers. The headline here is 0 allocs/op.
+func BenchmarkSolverSolve(b *testing.B) {
+	m := benchTradeModel(b, 400)
+	s := NewSolver()
+	if _, err := s.Solve(m, Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Classes[0].Population = 400 + 50*(i%2)
+		if _, err := s.Solve(m, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverSolveWarm adds warm starting on top of the retained
+// workspace — the configuration the sweeps and fixed-point loops use.
+func BenchmarkSolverSolveWarm(b *testing.B) {
+	m := benchTradeModel(b, 400)
+	s := NewSolver()
+	s.WarmStart = true
+	if _, err := s.Solve(m, Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Classes[0].Population = 400 + 50*(i%2)
+		if _, err := s.Solve(m, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveMVA isolates the Schweitzer kernel on the general
+// path: priorities and a second phase defeat the background-free fast
+// path, so every station pays the O(K) background scan.
+func BenchmarkSolveMVA(b *testing.B) {
+	m := &Model{
+		Processors: []*Processor{
+			{Name: "cpu", Mult: 2, Speed: 1, Sched: PS},
+			{Name: "disk", Mult: 1, Speed: 1, Sched: FCFS},
+			{Name: "net", Mult: 1, Speed: 1, Sched: Delay},
+		},
+		Tasks: []*Task{
+			{Name: "app", Processor: "cpu", Mult: 100, Entries: []*Entry{
+				{Name: "hi", Demand: 0.004, Demand2: 0.001},
+				{Name: "lo", Demand: 0.006},
+			}},
+			{Name: "io", Processor: "disk", Mult: 100, Entries: []*Entry{
+				{Name: "read", Demand: 0.002},
+			}},
+			{Name: "wire", Processor: "net", Mult: 100, Entries: []*Entry{
+				{Name: "hop", Demand: 0.010},
+			}},
+		},
+		Classes: []*Class{
+			{Name: "urgent", Population: 40, Think: 0.5, Priority: 1, Calls: []Call{{Target: "hi", Mean: 1}, {Target: "read", Mean: 2}, {Target: "hop", Mean: 1}}},
+			{Name: "batch", Population: 200, Think: 1, Calls: []Call{{Target: "lo", Mean: 1}, {Target: "read", Mean: 3}, {Target: "hop", Mean: 1}}},
+		},
+	}
+	s := NewSolver()
+	if _, err := s.Solve(m, Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(m, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveTaskLayering covers the layered (method-of-layers)
+// path, whose fixed point dominates figure/table generation when
+// enabled.
+func BenchmarkSolveTaskLayering(b *testing.B) {
+	m := benchTradeModel(b, 400)
+	s := NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(m, Options{TaskLayering: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveExactMVA covers the single-class exact recursion used
+// by the ablation comparison.
+func BenchmarkSolveExactMVA(b *testing.B) {
+	m := tinyModel()
+	m.Classes[0].Population = 500
+	s := NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(m, Options{ExactMVA: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sweepBenchmark runs an adjacent-population sweep and reports total
+// MVA iterations as a custom metric — the quantity warm starting is
+// supposed to reduce.
+func sweepBenchmark(b *testing.B, warm bool) {
+	m := benchTradeModel(b, 50)
+	s := NewSolver()
+	s.WarmStart = warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		iters := 0
+		for n := 50; n <= 2000; n += 50 {
+			m.Classes[0].Population = n
+			res, err := s.Solve(m, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters += res.Iterations
+		}
+		total = iters
+	}
+	b.ReportMetric(float64(total), "iters/sweep")
+}
+
+func BenchmarkSolveSweepCold(b *testing.B) { sweepBenchmark(b, false) }
+func BenchmarkSolveSweepWarm(b *testing.B) { sweepBenchmark(b, true) }

@@ -104,6 +104,70 @@ func NewTradeModel(server workload.ServerArch, db workload.DBServer, demands map
 	return m, nil
 }
 
+// RetuneTradeModel updates, in place, the entry demands and call means
+// of a model built by NewTradeModel to a new demand map — the
+// structure-preserving half of a rebuild. Fixed-point loops that
+// re-tune effective demands every iteration (see
+// sessioncache.SolveWithCache) pair it with Solver.InvalidateDemands
+// to skip re-building and re-validating the whole model.
+//
+// The demand map must cover the same request types the model was built
+// with, and each type's latency term must stay on the same side of
+// zero (present or absent) — a latency appearing or disappearing
+// changes the model structure and needs a rebuild. Models augmented by
+// AddCriticalSection cannot be retuned: the section's CPU inflation is
+// folded into the entry demands and would be lost.
+func RetuneTradeModel(m *Model, demands map[workload.RequestType]workload.Demand) error {
+	entries := make(map[string]*Entry, 8)
+	for _, t := range m.Tasks {
+		if t.Name == "critsec" {
+			return errors.New("lqn: cannot retune a model with a critical section; rebuild it")
+		}
+		for _, e := range t.Entries {
+			entries[e.Name] = e
+		}
+	}
+	types := make([]workload.RequestType, 0, len(demands))
+	for rt := range demands {
+		types = append(types, rt)
+	}
+	for i := 1; i < len(types); i++ {
+		for j := i; j > 0 && types[j] < types[j-1]; j-- {
+			types[j], types[j-1] = types[j-1], types[j]
+		}
+	}
+	for _, rt := range types {
+		d := demands[rt]
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("lqn: demand for %q: %w", rt, err)
+		}
+		app, ok := entries["app_"+string(rt)]
+		if !ok {
+			return fmt.Errorf("lqn: model has no entries for request type %q; rebuild it", rt)
+		}
+		db, ok := entries["db_"+string(rt)]
+		if !ok {
+			return fmt.Errorf("lqn: model has no entries for request type %q; rebuild it", rt)
+		}
+		lat, hasLat := entries["lat_"+string(rt)]
+		if (d.DBLatencyPerCall > 0) != hasLat {
+			return fmt.Errorf("lqn: request type %q would change the latency structure; rebuild the model", rt)
+		}
+		app.Demand = d.AppServerTime
+		db.Demand = d.DBTimePerCall
+		if hasLat {
+			lat.Demand = d.DBLatencyPerCall
+		}
+		for i := range app.Calls {
+			switch app.Calls[i].Target {
+			case db.Name, "lat_" + string(rt):
+				app.Calls[i].Mean = d.DBCallsPerRequest
+			}
+		}
+	}
+	return nil
+}
+
 // AddCriticalSection augments a trade model with the profiled §8.1
 // bottleneck: application requests enter a single-threaded critical
 // section with probability fraction, holding a global lock for a mean

@@ -59,18 +59,31 @@ type classDemands struct {
 // service demands, dividing by processor speed. Phase-1 demand counts
 // toward both response and utilisation; phase-2 and async-only
 // invocations count toward utilisation only.
+//
+// Entries fold in sorted-name order (r.entryNames) so the per-processor
+// sums accumulate in a fixed floating-point order: the result is
+// deterministic run to run, which ranging over the visit maps would not
+// guarantee once a processor hosts several entries of one class.
 func processorDemands(r *resolved, v classVisits) classDemands {
 	d := classDemands{
 		resp: make(map[string]float64),
 		util: make(map[string]float64),
 	}
-	for entry, visits := range v.util {
+	for _, entry := range r.entryNames {
+		visits, ok := v.util[entry]
+		if !ok {
+			continue
+		}
 		task := r.entryTask[entry]
 		proc := r.processors[task.Processor]
 		e := r.entries[entry]
 		d.util[proc.Name] += visits * (e.Demand + e.Demand2) / proc.Speed
 	}
-	for entry, visits := range v.resp {
+	for _, entry := range r.entryNames {
+		visits, ok := v.resp[entry]
+		if !ok {
+			continue
+		}
 		task := r.entryTask[entry]
 		proc := r.processors[task.Processor]
 		e := r.entries[entry]

@@ -167,24 +167,49 @@ func SolveWithCache(server workload.ServerArch, db workload.DBServer, demands ma
 	}
 	clients := load.TotalClients()
 	miss := EqualAccessMissRate(clients, meanSessionBytes, capacityBytes) // initial guess
+
+	// The model structure never changes across the fixed point — only
+	// the effective demands do. Build it once, then retune the entry
+	// demands in place each round and let a warm-started solver reuse
+	// its cached resolution and previous queue lengths, instead of
+	// rebuilding, re-validating and re-resolving the whole model every
+	// iteration.
+	adjusted := make(map[workload.RequestType]workload.Demand, len(demands))
+	retune := func() error {
+		for rt, d := range demands {
+			eff, err := EffectiveDemand(d, miss, extraCalls, missCallTime)
+			if err != nil {
+				return err
+			}
+			adjusted[rt] = eff
+		}
+		return nil
+	}
+	if err := retune(); err != nil {
+		return nil, err
+	}
+	model, err := lqn.NewTradeModel(server, db, adjusted, load)
+	if err != nil {
+		return nil, err
+	}
+	solver := lqn.NewSolver()
+	solver.WarmStart = true
+
 	var res *lqn.Result
 	const maxOuter = 100
 	converged := false
 	iter := 0
 	for ; iter < maxOuter; iter++ {
-		adjusted := make(map[workload.RequestType]workload.Demand, len(demands))
-		for rt, d := range demands {
-			eff, err := EffectiveDemand(d, miss, extraCalls, missCallTime)
-			if err != nil {
+		if iter > 0 {
+			if err := retune(); err != nil {
 				return nil, err
 			}
-			adjusted[rt] = eff
+			if err := lqn.RetuneTradeModel(model, adjusted); err != nil {
+				return nil, err
+			}
+			solver.InvalidateDemands()
 		}
-		model, err := lqn.NewTradeModel(server, db, adjusted, load)
-		if err != nil {
-			return nil, err
-		}
-		res, err = lqn.Solve(model, opt)
+		res, err = solver.Solve(model, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +226,7 @@ func SolveWithCache(server workload.ServerArch, db workload.DBServer, demands ma
 		miss = 0.5*miss + 0.5*next
 	}
 	return &CacheSolveResult{
-		Result:     res,
+		Result:     res.Clone(),
 		MissRate:   miss,
 		Iterations: iter,
 		Converged:  converged,

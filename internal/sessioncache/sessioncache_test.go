@@ -184,3 +184,65 @@ func TestSolveWithCacheFixedPoint(t *testing.T) {
 		t.Fatal("zero capacity should fail")
 	}
 }
+
+// naiveSolveWithCache is the reference fixed point: rebuild and
+// re-resolve the full model from scratch with a cold solver every
+// iteration — the behaviour SolveWithCache had before it reused the
+// resolved topology. The optimised loop must stay on the same fixed
+// point.
+func naiveSolveWithCache(t *testing.T, server workload.ServerArch, db workload.DBServer, demands map[workload.RequestType]workload.Demand, load workload.Workload, capacityBytes, meanSessionBytes, extraCalls, missCallTime float64, opt lqn.Options) (missRate float64, res *lqn.Result) {
+	t.Helper()
+	clients := load.TotalClients()
+	miss := EqualAccessMissRate(clients, meanSessionBytes, capacityBytes)
+	for iter := 0; iter < 100; iter++ {
+		adjusted := make(map[workload.RequestType]workload.Demand, len(demands))
+		for rt, d := range demands {
+			eff, err := EffectiveDemand(d, miss, extraCalls, missCallTime)
+			if err != nil {
+				t.Fatal(err)
+			}
+			adjusted[rt] = eff
+		}
+		model, err := lqn.NewTradeModel(server, db, adjusted, load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err = lqn.Solve(model, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := estimateMissRate(miss, res.TotalThroughput(), res.MeanResponseTime(), clients, meanSessionBytes, capacityBytes, load)
+		if math.Abs(next-miss) < 1e-6 {
+			return next, res
+		}
+		miss = 0.5*miss + 0.5*next
+	}
+	return miss, res
+}
+
+// TestSolveWithCacheMatchesNaiveRebuild pins the optimised fixed point
+// (model built once, demands retuned in place, warm-started solver)
+// against the rebuild-everything reference.
+func TestSolveWithCacheMatchesNaiveRebuild(t *testing.T) {
+	const clients = 400
+	const sessionBytes = 4096
+	for _, frac := range []float64{0.05, 0.25, 0.60, 2.0} {
+		capacity := frac * clients * sessionBytes
+		got, err := SolveWithCache(workload.AppServF(), workload.CaseStudyDB(),
+			workload.CaseStudyDemands(), workload.TypicalWorkload(clients),
+			capacity, sessionBytes, 1, 0, lqn.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMiss, wantRes := naiveSolveWithCache(t, workload.AppServF(), workload.CaseStudyDB(),
+			workload.CaseStudyDemands(), workload.TypicalWorkload(clients),
+			capacity, sessionBytes, 1, 0, lqn.Options{})
+		if d := math.Abs(got.MissRate - wantMiss); d > 1e-4 {
+			t.Fatalf("capacity %.2f: miss rate %v, reference %v (Δ=%v)", frac, got.MissRate, wantMiss, d)
+		}
+		gotRT, wantRT := got.Result.MeanResponseTime(), wantRes.MeanResponseTime()
+		if d := math.Abs(gotRT - wantRT); d > 1e-3*(1+wantRT) {
+			t.Fatalf("capacity %.2f: RT %v, reference %v", frac, gotRT, wantRT)
+		}
+	}
+}

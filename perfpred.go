@@ -135,19 +135,29 @@ type (
 	LQNEntry     = lqn.Entry
 	LQNCall      = lqn.Call
 	LQNClass     = lqn.Class
-	// LQNOptions tunes the solver (convergence criterion, exact MVA).
+	// LQNOptions tunes the solver (convergence criterion, exact MVA,
+	// damping).
 	LQNOptions = lqn.Options
 	// LQNResult is a solved model's predictions.
 	LQNResult = lqn.Result
+	// LQNSolver is a reusable solver workspace: zero steady-state
+	// allocations and optional warm-started sweeps.
+	LQNSolver = lqn.Solver
 	// CalibrationRun feeds the §5 demand-calibration procedure.
 	CalibrationRun = lqn.CalibrationRun
 )
 
 // Layered queuing operations.
 var (
-	SolveLQN            = lqn.Solve
-	NewTradeModel       = lqn.NewTradeModel
-	PredictTrade        = lqn.PredictTrade
+	SolveLQN = lqn.Solve
+	// NewLQNSolver builds a reusable solver for repeated solves of the
+	// same (or slowly mutating) model.
+	NewLQNSolver  = lqn.NewSolver
+	NewTradeModel = lqn.NewTradeModel
+	PredictTrade  = lqn.PredictTrade
+	// RetuneTradeModel rewrites a trade model's demands in place so a
+	// retained solver can keep its cached topology.
+	RetuneTradeModel    = lqn.RetuneTradeModel
 	CalibrateDemand     = lqn.CalibrateDemand
 	ScaleDemandToServer = lqn.ScaleDemandToServer
 	MaxClientsSearch    = lqn.MaxClientsSearch
