@@ -5,9 +5,10 @@
 #                 event-core paths under the race detector (short).
 #   make bench  — the performance evidence: event-core micro-benchmarks
 #                 (flat allocation counts per event), the LQN solver
-#                 fast-path benchmarks, the figure-scale sweep, and the
-#                 BENCH_lqn.json snapshot (commit it to extend the
-#                 perf trajectory).
+#                 fast-path benchmarks, the figure-scale sweep, the
+#                 zero-alloc request-loop benchmarks, and the
+#                 BENCH_lqn.json / BENCH_trade.json snapshots (commit
+#                 them to extend the perf trajectory).
 
 GO ?= go
 
@@ -19,11 +20,13 @@ test:
 race:
 	$(GO) test -race ./internal/parallel
 	$(GO) test -race -run 'TestSuiteConcurrent|TestSuiteParallelHybrid|TestFigure2ShapeHolds' ./internal/bench
-	$(GO) test -race -run 'TestEngine|TestStation|TestMeasureCurveParallel' ./internal/sim ./internal/trade
+	$(GO) test -race -run 'TestEngine|TestStation|TestMeasureCurve' ./internal/sim ./internal/trade
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedule|BenchmarkRunDrain|BenchmarkStationSubmit' -benchmem ./internal/sim
 	$(GO) test -run '^$$' -bench BenchmarkMeasureCurve -benchtime 2x ./internal/trade
+	$(GO) test -run '^$$' -bench 'BenchmarkRequestLoop|BenchmarkCollect|BenchmarkTransientCurve' -benchmem ./internal/trade
 	$(GO) test -run '^$$' -bench 'BenchmarkSolve' -benchmem ./internal/lqn
 	$(GO) test -run '^$$' -bench 'BenchmarkHybridBuild|BenchmarkBuildRelationship3' -benchmem ./internal/hybrid
 	$(GO) run ./cmd/lqnbench -out BENCH_lqn.json
+	$(GO) run ./cmd/tradebench -bench -out BENCH_trade.json

@@ -10,6 +10,7 @@
 //	           [-open-rate 100] [-detailed]
 //	tradebench -servers AppServS,AppServF,AppServVF -routing leastbusy -clients 3000
 //	tradebench -server AppServS -maxthroughput
+//	tradebench -bench -out BENCH_trade.json
 package main
 
 import (
@@ -37,7 +38,14 @@ func main() {
 	routing := flag.String("routing", "", "tier routing: sticky|roundrobin|leastbusy")
 	openRate := flag.Float64("open-rate", 0, "add an open browse stream at this rate, req/s (§8.1)")
 	detailed := flag.Bool("detailed", false, "operation-level Trade workload (§3.1)")
+	bench := flag.Bool("bench", false, "run the simulator benchmarks and write a JSON snapshot")
+	out := flag.String("out", "BENCH_trade.json", "snapshot path for -bench (- for stdout)")
 	flag.Parse()
+
+	if *bench {
+		runBenchmarks(*out)
+		return
+	}
 
 	arch, err := serverByName(*server)
 	if err != nil {

@@ -1,0 +1,112 @@
+package rm
+
+import (
+	"fmt"
+	"math"
+
+	"perfpred/internal/parallel"
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
+)
+
+// maxOracleClients bounds the capacity search: no case-study
+// architecture holds this many clients within any sane SLA goal.
+const maxOracleClients = 1 << 18
+
+// SimOracle is a Predictor backed by the simulated testbed itself: each
+// Predict runs (and memoizes) a trade measurement of the architecture
+// at the requested population, and MaxClients searches the population
+// by doubling plus bisection. It plays the "truth" role in resource-
+// manager evaluations — the measured reality the planning predictors
+// are scored against — without pre-calibrating a model.
+//
+// Opt tunes the underlying measurements; setting Opt.TargetRelErr runs
+// each probe under adaptive run-length control, so the oracle spends
+// simulation time only until the requested precision is reached. The
+// memo is concurrency-safe: parallel sweeps sharing one oracle
+// deduplicate identical probes in flight.
+type SimOracle struct {
+	archs map[string]workload.ServerArch
+	opt   trade.MeasureOptions
+	memo  parallel.Memo[simProbe, float64]
+}
+
+type simProbe struct {
+	arch    string
+	clients int
+}
+
+// NewSimOracle builds an oracle over the given architectures.
+func NewSimOracle(archs []workload.ServerArch, opt trade.MeasureOptions) *SimOracle {
+	m := make(map[string]workload.ServerArch, len(archs))
+	for _, a := range archs {
+		m[a.Name] = a
+	}
+	return &SimOracle{archs: m, opt: opt}
+}
+
+// Predict returns the measured mean response time (seconds) of the
+// architecture under the typical workload at n clients. Results are
+// memoized per (architecture, population).
+func (o *SimOracle) Predict(arch string, n float64) (float64, error) {
+	a, ok := o.archs[arch]
+	if !ok {
+		return 0, fmt.Errorf("rm: no architecture %q in oracle", arch)
+	}
+	clients := int(math.Round(n))
+	if clients < 1 {
+		clients = 1
+	}
+	return o.memo.Do(simProbe{arch: arch, clients: clients}, func() (float64, error) {
+		res, err := trade.Measure(a, workload.TypicalWorkload(clients), o.opt)
+		if err != nil {
+			return 0, err
+		}
+		return res.MeanRT, nil
+	})
+}
+
+// MaxClients returns the largest population whose measured mean
+// response time stays within goalRT, found by doubling the population
+// until the goal breaks and bisecting the final interval. Every probe
+// lands in the memo, so a follow-up Predict at the capacity is free.
+func (o *SimOracle) MaxClients(arch string, goalRT float64) (float64, error) {
+	if goalRT <= 0 {
+		return 0, fmt.Errorf("rm: capacity search needs a positive goal, got %v", goalRT)
+	}
+	rt, err := o.Predict(arch, 1)
+	if err != nil {
+		return 0, err
+	}
+	if rt > goalRT {
+		return 0, nil // even one client misses the goal
+	}
+	lo, hi := 1, 2
+	for {
+		if hi > maxOracleClients {
+			return float64(maxOracleClients), nil
+		}
+		rt, err := o.Predict(arch, float64(hi))
+		if err != nil {
+			return 0, err
+		}
+		if rt > goalRT {
+			break
+		}
+		lo = hi
+		hi *= 2
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		rt, err := o.Predict(arch, float64(mid))
+		if err != nil {
+			return 0, err
+		}
+		if rt > goalRT {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return float64(lo), nil
+}

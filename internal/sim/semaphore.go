@@ -10,6 +10,9 @@ import "fmt"
 // models the CPU itself. Together they realise the paper's "FIFO
 // waiting queue in front of a server that processes up to MPL requests
 // at the same time via time-sharing".
+//
+// Waiters are stored as bare callbacks in per-source ring buffers, so
+// queueing and granting allocate nothing in steady state.
 type Semaphore struct {
 	eng       *Engine
 	name      string
@@ -17,8 +20,9 @@ type Semaphore struct {
 	admission Admission
 
 	held    int
-	queues  map[int][]*waiter
-	sources []int
+	queues  []fifo[func()] // indexed by source id
+	sources []int          // insertion-ordered source ids
+	known   []bool
 	rrNext  int
 
 	// statistics
@@ -28,10 +32,6 @@ type Semaphore struct {
 	areaQueued float64
 	queued     int
 	grants     uint64
-}
-
-type waiter struct {
-	granted func()
 }
 
 // NewSemaphore creates a pool of capacity slots granted per the given
@@ -45,7 +45,6 @@ func NewSemaphore(eng *Engine, name string, capacity int, adm Admission) *Semaph
 		name:      name,
 		capacity:  capacity,
 		admission: adm,
-		queues:    make(map[int][]*waiter),
 	}
 }
 
@@ -61,6 +60,23 @@ func (s *Semaphore) Held() int { return s.held }
 // Queued returns the number of acquisitions waiting for a slot.
 func (s *Semaphore) Queued() int { return s.queued }
 
+// queueFor returns the waiting queue for a source, registering the
+// source in insertion order on first use.
+func (s *Semaphore) queueFor(source int) *fifo[func()] {
+	if source < 0 {
+		panic(fmt.Sprintf("sim: semaphore %q got negative source %d", s.name, source))
+	}
+	for source >= len(s.queues) {
+		s.queues = append(s.queues, fifo[func()]{})
+		s.known = append(s.known, false)
+	}
+	if !s.known[source] {
+		s.known[source] = true
+		s.sources = append(s.sources, source)
+	}
+	return &s.queues[source]
+}
+
 // Acquire requests a slot for the given source. granted runs as soon
 // as a slot is available — synchronously when one is free now,
 // otherwise when a Release hands one over in queue order.
@@ -75,10 +91,7 @@ func (s *Semaphore) Acquire(source int, granted func()) {
 		granted()
 		return
 	}
-	if _, ok := s.queues[source]; !ok {
-		s.sources = append(s.sources, source)
-	}
-	s.queues[source] = append(s.queues[source], &waiter{granted: granted})
+	s.queueFor(source).push(granted)
 	s.queued++
 }
 
@@ -90,42 +103,36 @@ func (s *Semaphore) Release() {
 	if s.held <= 0 {
 		panic(fmt.Sprintf("sim: semaphore %q released more slots than acquired", s.name))
 	}
-	next := s.nextWaiter()
-	if next == nil {
+	next, ok := s.nextWaiter()
+	if !ok {
 		s.held--
 		return
 	}
 	s.queued--
 	s.grants++
-	next.granted()
+	next()
 }
 
-func (s *Semaphore) nextWaiter() *waiter {
+func (s *Semaphore) nextWaiter() (func(), bool) {
 	switch s.admission {
 	case PerSourceFIFO:
 		for range s.sources {
 			src := s.sources[s.rrNext%len(s.sources)]
 			s.rrNext++
-			if q := s.queues[src]; len(q) > 0 {
-				w := q[0]
-				s.queues[src] = q[1:]
-				return w
+			if w, ok := s.queues[src].pop(); ok {
+				return w, true
 			}
 		}
-		return nil
+		return nil, false
 	default:
-		// GlobalFIFO: waiters were appended in arrival order per
-		// source; scan sources for the earliest overall by tracking
-		// insertion order with a single shared queue keyed 0 when the
-		// discipline is global.
+		// GlobalFIFO: every Acquire was normalised to source 0, so a
+		// single ring preserves overall arrival order.
 		for _, src := range s.sources {
-			if q := s.queues[src]; len(q) > 0 {
-				w := q[0]
-				s.queues[src] = q[1:]
-				return w
+			if w, ok := s.queues[src].pop(); ok {
+				return w, true
 			}
 		}
-		return nil
+		return nil, false
 	}
 }
 

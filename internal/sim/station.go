@@ -23,12 +23,16 @@ const (
 
 const remainEps = 1e-9
 
-// job is one request in service or waiting at a Station.
+// job is one request in service or waiting at a Station. Jobs are
+// pooled per station: a retired job returns to a free list and is
+// reused by a later Submit, so the steady-state service loop performs
+// no allocation.
 type job struct {
 	remaining float64
 	done      func()
 	source    int
 	arrived   float64
+	next      *job // free-list link
 }
 
 // Station is a processor-sharing service centre with a multiprogramming
@@ -45,12 +49,18 @@ type Station struct {
 	admission Admission
 
 	active  []*job
-	queues  map[int][]*job
-	sources []int // insertion-ordered source ids for round-robin
+	queues  []fifo[*job] // indexed by source id
+	sources []int        // insertion-ordered source ids for round-robin
+	known   []bool       // source id already registered in sources
 	rrNext  int
+
+	free     *job     // retired jobs for reuse
+	finished []*job   // scratch: jobs retired by one completion event
+	dones    []func() // scratch: their callbacks, run after release
 
 	lastUpdate float64
 	completion Event
+	onComp     func() // onCompletion, bound once so scheduling allocates nothing
 
 	// accumulated statistics
 	statsSince   float64
@@ -73,18 +83,38 @@ func NewStation(eng *Engine, name string, speed float64, mpl int, adm Admission)
 	if mpl < 0 {
 		panic(fmt.Sprintf("sim: station %q needs non-negative MPL, got %d", name, mpl))
 	}
-	return &Station{
+	st := &Station{
 		eng:       eng,
 		name:      name,
 		speed:     speed,
 		mpl:       mpl,
 		admission: adm,
-		queues:    make(map[int][]*job),
 	}
+	st.onComp = st.onCompletion
+	return st
 }
 
 // Name returns the station's label.
 func (s *Station) Name() string { return s.name }
+
+// queueFor returns the waiting queue for a source, registering the
+// source in insertion order on first use. Sources must be small
+// non-negative ids (server indices); the queues live in a slice so the
+// per-call lookup is an index, not a map probe.
+func (s *Station) queueFor(source int) *fifo[*job] {
+	if source < 0 {
+		panic(fmt.Sprintf("sim: station %q got negative source %d", s.name, source))
+	}
+	for source >= len(s.queues) {
+		s.queues = append(s.queues, fifo[*job]{})
+		s.known = append(s.known, false)
+	}
+	if !s.known[source] {
+		s.known[source] = true
+		s.sources = append(s.sources, source)
+	}
+	return &s.queues[source]
+}
 
 // Submit offers a job with the given service demand (time units at
 // speed 1) from the given source. done runs when service completes.
@@ -95,17 +125,31 @@ func (s *Station) Submit(source int, demand float64, done func()) {
 		panic(fmt.Sprintf("sim: station %q got invalid demand %v", s.name, demand))
 	}
 	s.update()
-	j := &job{remaining: demand, done: done, source: source, arrived: s.eng.Now()}
+	j := s.free
+	if j != nil {
+		s.free = j.next
+		j.next = nil
+	} else {
+		j = &job{}
+	}
+	j.remaining = demand
+	j.done = done
+	j.source = source
+	j.arrived = s.eng.Now()
 	if s.mpl == 0 || len(s.active) < s.mpl {
 		s.active = append(s.active, j)
 	} else {
-		if _, ok := s.queues[source]; !ok {
-			s.sources = append(s.sources, source)
-		}
-		s.queues[source] = append(s.queues[source], j)
+		s.queueFor(source).push(j)
 		s.queuedCount++
 	}
 	s.scheduleNext()
+}
+
+// release returns a retired job to the free list.
+func (s *Station) release(j *job) {
+	j.done = nil
+	j.next = s.free
+	s.free = j
 }
 
 // InService returns the number of jobs currently being time-shared.
@@ -152,18 +196,19 @@ func (s *Station) scheduleNext() {
 		minRemaining = 0
 	}
 	delay := minRemaining * float64(len(s.active)) / s.speed
-	s.completion = s.eng.Schedule(delay, s.onCompletion)
+	s.completion = s.eng.Schedule(delay, s.onComp)
 }
 
 // onCompletion retires every job whose demand is exhausted, admits
 // replacements from the waiting queues, and then runs the retired
 // jobs' callbacks. Callbacks run after the station state is consistent
 // so they may immediately Submit again (e.g. a request's next database
-// call).
+// call); retired jobs are recycled before the callbacks run, so a
+// re-Submit can reuse them.
 func (s *Station) onCompletion() {
 	s.completion = Event{}
 	s.update()
-	var finished []*job
+	finished := s.finished[:0]
 	kept := s.active[:0]
 	for _, j := range s.active {
 		if j.remaining <= remainEps {
@@ -183,11 +228,18 @@ func (s *Station) onCompletion() {
 		s.queuedCount--
 	}
 	s.scheduleNext()
+	dones := s.dones[:0]
 	for _, j := range finished {
-		if j.done != nil {
-			j.done()
+		dones = append(dones, j.done)
+		s.release(j)
+	}
+	s.finished = finished[:0]
+	for _, done := range dones {
+		if done != nil {
+			done()
 		}
 	}
+	s.dones = dones[:0]
 }
 
 // admitOne removes and returns the next waiting job per the admission
@@ -198,30 +250,28 @@ func (s *Station) admitOne() *job {
 		for range s.sources {
 			src := s.sources[s.rrNext%len(s.sources)]
 			s.rrNext++
-			if q := s.queues[src]; len(q) > 0 {
-				j := q[0]
-				s.queues[src] = q[1:]
+			if j, ok := s.queues[src].pop(); ok {
 				return j
 			}
 		}
 		return nil
 	default: // GlobalFIFO: earliest arrival across all queues
 		var best *job
-		bestSrc := 0
+		bestSrc := -1
 		for _, src := range s.sources {
-			q := s.queues[src]
-			if len(q) == 0 {
+			j, ok := s.queues[src].peek()
+			if !ok {
 				continue
 			}
-			if best == nil || q[0].arrived < best.arrived {
-				best = q[0]
+			if best == nil || j.arrived < best.arrived {
+				best = j
 				bestSrc = src
 			}
 		}
 		if best == nil {
 			return nil
 		}
-		s.queues[bestSrc] = s.queues[bestSrc][1:]
+		s.queues[bestSrc].pop()
 		return best
 	}
 }

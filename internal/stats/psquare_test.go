@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestP2QuantileUniform(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	med := NewP2Quantile(0.5)
+	p90 := NewP2Quantile(0.9)
+	for i := 0; i < 100000; i++ {
+		x := r.Float64()
+		med.Add(x)
+		p90.Add(x)
+	}
+	if v := med.Value(); math.Abs(v-0.5) > 0.01 {
+		t.Errorf("median of U(0,1) = %v, want 0.5 ± 0.01", v)
+	}
+	if v := p90.Value(); math.Abs(v-0.9) > 0.01 {
+		t.Errorf("p90 of U(0,1) = %v, want 0.9 ± 0.01", v)
+	}
+}
+
+func TestP2QuantileExponentialTail(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	est := NewP2Quantile(0.95)
+	for i := 0; i < 200000; i++ {
+		est.Add(r.ExpFloat64())
+	}
+	want := -math.Log(0.05) // ≈ 2.996
+	if v := est.Value(); math.Abs(v-want)/want > 0.05 {
+		t.Errorf("p95 of Exp(1) = %v, want %v ± 5%%", v, want)
+	}
+}
+
+func TestP2QuantileSmallStreams(t *testing.T) {
+	est := NewP2Quantile(0.5)
+	if est.Value() != 0 {
+		t.Fatal("empty estimator should report 0")
+	}
+	for _, x := range []float64{5, 1, 3} {
+		est.Add(x)
+	}
+	// Below five observations the estimator answers exactly.
+	if v, want := est.Value(), Percentile([]float64{1, 3, 5}, 50); v != want {
+		t.Errorf("3-obs median = %v, want exact %v", v, want)
+	}
+	if est.Min() != 1 || est.Max() != 5 {
+		t.Errorf("min/max = %v/%v, want 1/5", est.Min(), est.Max())
+	}
+	if est.Count() != 3 {
+		t.Errorf("count = %d, want 3", est.Count())
+	}
+}
+
+func TestP2QuantilePanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v should panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}
+
+func TestStreamingQuantiles(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	sq := NewStreamingQuantiles(nil) // default set {0.5, 0.9, 0.95, 0.99}
+	var all []float64
+	for i := 0; i < 50000; i++ {
+		x := r.ExpFloat64()
+		sq.Add(x)
+		all = append(all, x)
+	}
+	sort.Float64s(all)
+	if sq.Count() != 50000 {
+		t.Fatalf("count = %d", sq.Count())
+	}
+	for _, p := range []float64{0.5, 0.9, 0.95} {
+		got := sq.Quantile(p)
+		want := Percentile(all, p*100)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("q(%v) = %v, want %v ± 5%%", p, got, want)
+		}
+	}
+	// Interpolated (untracked) probability lies between its neighbours.
+	if q70 := sq.Quantile(0.7); q70 < sq.Quantile(0.5) || q70 > sq.Quantile(0.9) {
+		t.Errorf("q(0.7) = %v outside [q50, q90]", q70)
+	}
+	// Out-of-range probabilities clamp to the observed extremes.
+	if sq.Quantile(0) != all[0] || sq.Quantile(1) != all[len(all)-1] {
+		t.Errorf("clamp: q(0)=%v q(1)=%v, want %v and %v", sq.Quantile(0), sq.Quantile(1), all[0], all[len(all)-1])
+	}
+}
+
+func TestStreamingQuantilesCustomSet(t *testing.T) {
+	sq := NewStreamingQuantiles([]float64{0.8, 0.2})
+	probs := sq.Probs()
+	if len(probs) != 2 || probs[0] != 0.2 || probs[1] != 0.8 {
+		t.Fatalf("probs = %v, want sorted [0.2 0.8]", probs)
+	}
+	if sq.Quantile(0.5) != 0 {
+		t.Fatal("empty tracker should report 0")
+	}
+}

@@ -1,0 +1,123 @@
+package trade
+
+import (
+	"testing"
+
+	"perfpred/internal/workload"
+)
+
+// steadySim builds a simulator, runs it past warm-up with measurement
+// on, and primes every pool (request records, station jobs, ring
+// buffers, reservoir buffers) so subsequent engine advances exercise
+// only the steady-state path.
+func steadySim(t testing.TB, cfg Config) (*simulator, float64) {
+	t.Helper()
+	s, err := newSimulator(cfg, simOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.eng.Run(cfg.WarmUp, 0)
+	s.resetStats()
+	s.measuring = true
+	until := cfg.WarmUp + 60 // fills the small reservoirs and warms all pools
+	s.eng.Run(until, 0)
+	return s, until
+}
+
+func allocConfig() Config {
+	return Config{
+		Server:       workload.AppServF(),
+		DB:           workload.CaseStudyDB(),
+		Demands:      workload.CaseStudyDemands(),
+		Load:         workload.MixedWorkload(400, 0.25),
+		Seed:         11,
+		WarmUp:       10,
+		Duration:     100000, // never reached; the tests advance time manually
+		MaxRTSamples: 128,
+	}
+}
+
+// TestSteadyStateRequestLoopZeroAlloc is the tentpole's contract: once
+// the pools are primed and the reservoirs full, advancing the
+// simulation — thousands of complete request lifecycles with think
+// times, CPU segments and database calls — allocates nothing.
+func TestSteadyStateRequestLoopZeroAlloc(t *testing.T) {
+	s, until := steadySim(t, allocConfig())
+	allocs := testing.AllocsPerRun(50, func() {
+		until += 2
+		s.eng.Run(until, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state request loop allocates %v objects per 2 simulated seconds, want 0", allocs)
+	}
+}
+
+// TestSteadyStateZeroAllocStreaming repeats the contract with P²
+// streaming percentiles, whose Add path must also be allocation-free.
+func TestSteadyStateZeroAllocStreaming(t *testing.T) {
+	cfg := allocConfig()
+	cfg.StreamingPercentiles = true
+	s, until := steadySim(t, cfg)
+	allocs := testing.AllocsPerRun(50, func() {
+		until += 2
+		s.eng.Run(until, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("streaming-percentile request loop allocates %v objects per 2 simulated seconds, want 0", allocs)
+	}
+}
+
+// TestSteadyStateZeroAllocDetailed covers the §3.1 operation-level
+// workload: browse operation picks and buy-session advancement must
+// stay pooled too.
+func TestSteadyStateZeroAllocDetailed(t *testing.T) {
+	cfg := allocConfig()
+	cfg.DetailedOperations = true
+	s, until := steadySim(t, cfg)
+	allocs := testing.AllocsPerRun(50, func() {
+		until += 2
+		s.eng.Run(until, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("detailed-operations request loop allocates %v objects per 2 simulated seconds, want 0", allocs)
+	}
+}
+
+func BenchmarkRequestLoop(b *testing.B) {
+	s, until := steadySim(b, allocConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		until++
+		s.eng.Run(until, 0) // one simulated second ≈ 115 requests
+	}
+}
+
+func BenchmarkCollect(b *testing.B) {
+	s, _ := steadySim(b, allocConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := s.collect(); res.Throughput <= 0 {
+			b.Fatal("empty collection")
+		}
+	}
+}
+
+func BenchmarkTransientCurve(b *testing.B) {
+	cfg := Config{
+		Server:   workload.AppServF(),
+		DB:       workload.CaseStudyDB(),
+		Demands:  workload.CaseStudyDemands(),
+		Load:     workload.TypicalWorkload(800),
+		Seed:     7,
+		Duration: 60,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TransientCurve(cfg, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -146,6 +146,26 @@ type Config struct {
 	// portfolio. Aggregate demands match the coarse model, and the
 	// result gains per-operation measurements.
 	DetailedOperations bool
+
+	// StreamingPercentiles replaces the per-class response-time sample
+	// buffers with streaming P² quantile estimators: O(1) memory per
+	// class regardless of run length, at the cost of estimated (rather
+	// than sampled) percentiles. Results then carry Quantiles instead
+	// of Samples. The default keeps the reservoir buffers, which the
+	// calibration helpers and golden outputs depend on.
+	StreamingPercentiles bool
+	// StreamQuantiles optionally sets the probabilities the streaming
+	// estimators track (each in (0,1)); empty selects
+	// stats.DefaultStreamQuantiles. Only valid with
+	// StreamingPercentiles.
+	StreamQuantiles []float64
+
+	// CompatTypeChoice selects the legacy CDF-inversion draw-to-type
+	// mapping for multi-type class mixes instead of the precomputed
+	// alias table. Both sample the identical distribution with one
+	// uniform draw per pick; only the per-seed type sequence differs.
+	// Single-type mixes never draw, under either setting.
+	CompatTypeChoice bool
 }
 
 // DefaultMaxRTSamples bounds percentile sample buffers by default.
@@ -219,6 +239,14 @@ func (c Config) Validate() error {
 	if c.CriticalSection != nil {
 		if err := c.CriticalSection.Validate(); err != nil {
 			return err
+		}
+	}
+	if len(c.StreamQuantiles) > 0 && !c.StreamingPercentiles {
+		return errors.New("trade: StreamQuantiles requires StreamingPercentiles")
+	}
+	for _, q := range c.StreamQuantiles {
+		if q <= 0 || q >= 1 {
+			return fmt.Errorf("trade: stream quantile %v outside (0,1)", q)
 		}
 	}
 	return nil

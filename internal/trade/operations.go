@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"perfpred/internal/sim"
+	"perfpred/internal/stats"
 	"perfpred/internal/workload"
 )
 
@@ -98,20 +100,29 @@ func meanBrowseScale() float64 {
 	return sSum / wSum
 }
 
-// opAccumulators collects per-operation response times.
+// opAccumulators collects per-operation response times. It owns its
+// reservoir stream and lazily creates one accumulator per operation
+// name, deriving each from the operation's registration order — the
+// hot-path record call needs no caller-supplied factory closure.
 type opAccumulators struct {
-	byName map[string]*classAcc
-	max    int
+	byName    map[string]*classAcc
+	max       int
+	rng       *sim.Stream
+	streaming bool
+	quants    []float64
 }
 
-func newOpAccumulators(max int) *opAccumulators {
-	return &opAccumulators{byName: make(map[string]*classAcc), max: max}
+func newOpAccumulators(max int, rng *sim.Stream, streaming bool, quants []float64) *opAccumulators {
+	return &opAccumulators{byName: make(map[string]*classAcc), max: max, rng: rng, streaming: streaming, quants: quants}
 }
 
-func (o *opAccumulators) record(op string, rt float64, rng func() *classAcc) {
+func (o *opAccumulators) record(op string, rt float64) {
 	acc, ok := o.byName[op]
 	if !ok {
-		acc = rng()
+		acc = &classAcc{maxSample: o.max, rng: o.rng.Derive(uint64(len(o.byName)))}
+		if o.streaming {
+			acc.quant = stats.NewStreamingQuantiles(o.quants)
+		}
 		o.byName[op] = acc
 	}
 	acc.record(rt)

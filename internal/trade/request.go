@@ -1,0 +1,189 @@
+package trade
+
+import (
+	"math"
+
+	"perfpred/internal/workload"
+)
+
+// reqState is one in-flight request's lifecycle record. The legacy
+// implementation chained fresh closures for every stage of every
+// request (thread grant → CPU segments → database calls → response),
+// allocating a handful of funcs and captured frames per request. A
+// reqState instead carries the stage data in plain fields and a set of
+// continuations bound once, when the record is first allocated; retired
+// records return to a per-simulator free list, so the steady-state
+// request loop allocates nothing.
+//
+// The continuation methods fire at exactly the simulated instants the
+// old closures did, and make their random draws in the same order on
+// the same streams, so per-seed results are unchanged.
+type reqState struct {
+	s   *simulator
+	c   *client   // nil for open-stream arrivals
+	acc *classAcc // response-time accumulator for the request's class
+
+	app     *appServer
+	srv     int
+	d       workload.Demand
+	opName  string
+	arrival float64
+	dbCalls int     // database calls still to make
+	segment float64 // CPU time per inter-call segment
+
+	next *reqState // free-list link
+
+	// Continuations, bound to this record at allocation so scheduling
+	// them costs no closure allocation.
+	onSlot   func() // application-server thread granted
+	onCS     func() // critical-section lock granted
+	onCSDone func() // critical-section CPU burst finished
+	onSeg    func() // CPU segment finished
+	onDB     func() // database agent granted
+	onDBDone func() // database CPU burst finished
+	onLat    func() // per-call latency elapsed
+}
+
+// getReq takes a request record from the free list, allocating (and
+// binding its continuations) only when the list is empty — i.e. only
+// while the in-flight population is still growing.
+func (s *simulator) getReq() *reqState {
+	r := s.reqFree
+	if r != nil {
+		s.reqFree = r.next
+		r.next = nil
+		return r
+	}
+	r = &reqState{s: s}
+	r.onSlot = r.slotGranted
+	r.onCS = r.csGranted
+	r.onCSDone = r.csDone
+	r.onSeg = r.segDone
+	r.onDB = r.dbGranted
+	r.onDBDone = r.dbDone
+	r.onLat = r.latDone
+	return r
+}
+
+// putReq retires a finished request record to the free list.
+func (s *simulator) putReq(r *reqState) {
+	r.c = nil
+	r.acc = nil
+	r.app = nil
+	r.opName = ""
+	r.next = s.reqFree
+	s.reqFree = r
+}
+
+// slotGranted runs when the application server admits the request: the
+// servlet thread is held from here to the response. It samples the
+// request's database-call count (plus the session-cache miss penalty
+// for closed clients), draws the total CPU demand, and enters either
+// the critical section (§8.1) or the first CPU segment.
+func (r *reqState) slotGranted() {
+	s := r.s
+	r.dbCalls = s.sampleCalls(r.d.DBCallsPerRequest)
+	if r.app.cache != nil && r.c != nil {
+		size := s.sessionBytes[r.c.id]
+		if !r.app.cache.touch(r.c.id, size) {
+			r.dbCalls += s.sampleCalls(s.cfg.Cache.MissExtraDBCalls)
+		}
+	}
+	totalCPU := s.serve.Exp(r.d.AppServerTime) // reference-scale demand; CPU speed scales service
+	r.segment = totalCPU / float64(r.dbCalls+1)
+	if cs := s.cfg.CriticalSection; cs != nil && r.c != nil && s.serve.Float64() < cs.Fraction {
+		// The request must hold the server-global lock while executing
+		// the protected section — the implicit queue of §8.1.
+		r.app.csLock.Acquire(0, r.onCS)
+		return
+	}
+	r.app.cpu.Submit(0, r.segment, r.onSeg)
+}
+
+// csGranted runs when the critical-section lock is granted: the locked
+// CPU burst's length is drawn now, as the legacy path did.
+func (r *reqState) csGranted() {
+	r.app.cpu.Submit(0, r.s.serve.Exp(r.s.cfg.CriticalSection.MeanTime), r.onCSDone)
+}
+
+// csDone releases the lock (possibly admitting the next waiter
+// synchronously) and starts the request's ordinary CPU segments.
+func (r *reqState) csDone() {
+	r.app.csLock.Release()
+	r.app.cpu.Submit(0, r.segment, r.onSeg)
+}
+
+// segDone runs when a CPU segment completes: either the response is
+// ready, or the request queues for a database agent in its server's
+// own FIFO (§2).
+func (r *reqState) segDone() {
+	if r.dbCalls == 0 {
+		r.finish()
+		return
+	}
+	r.s.dbSlots.Acquire(r.srv, r.onDB)
+}
+
+// dbGranted runs when a database agent is granted; the call's CPU time
+// is drawn at grant time, exactly where the legacy closure drew it.
+func (r *reqState) dbGranted() {
+	s := r.s
+	perCall := r.d.DBTimePerCall
+	if r.app.cache != nil && r.c != nil && s.cfg.Cache.MissDBTimePerCall > 0 {
+		// The session read uses the configured miss cost; the request's
+		// own calls keep their type's cost. Using the max keeps the
+		// model simple while preserving the extra-work effect.
+		perCall = math.Max(perCall, s.cfg.Cache.MissDBTimePerCall)
+	}
+	s.dbCPU.Submit(r.srv, s.serve.Exp(perCall), r.onDBDone)
+}
+
+// dbDone releases the database agent (possibly granting a waiter
+// synchronously) and either waits out the call's off-CPU latency or
+// resumes on the application server's CPU.
+func (r *reqState) dbDone() {
+	s := r.s
+	s.dbSlots.Release()
+	if r.d.DBLatencyPerCall > 0 {
+		// Pure per-call latency (disk/network): the thread waits it
+		// out off-CPU.
+		s.eng.Schedule(s.serve.Exp(r.d.DBLatencyPerCall), r.onLat)
+		return
+	}
+	r.latDone()
+}
+
+// latDone starts the next CPU segment after a database call fully
+// completes.
+func (r *reqState) latDone() {
+	r.dbCalls--
+	r.app.cpu.Submit(0, r.segment, r.onSeg)
+}
+
+// finish releases the servlet thread (which may synchronously admit
+// the next queued request), records the response time, and — for a
+// closed client — schedules the next request after a think time. The
+// think-time draw deliberately happens after the thread release, so a
+// synchronously admitted request makes its draws first, exactly as the
+// legacy nested closures ordered them.
+func (r *reqState) finish() {
+	s := r.s
+	r.app.slots.Release()
+	rt := s.eng.Now() - r.arrival
+	if s.intercept != nil {
+		s.intercept(s.eng.Now(), rt)
+	} else if s.measuring {
+		r.acc.record(rt)
+		if s.overall != nil {
+			s.overall.Add(rt)
+		}
+		if s.ops != nil && r.opName != "" {
+			s.ops.record(r.opName, rt)
+		}
+		r.app.completed++
+	}
+	if c := r.c; c != nil {
+		s.eng.Schedule(s.think.Exp(c.class.ThinkTimeMean), c.issue)
+	}
+	s.putReq(r)
+}

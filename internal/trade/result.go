@@ -20,13 +20,21 @@ type ClassResult struct {
 	// Throughput is responses per second.
 	Throughput float64
 	// Samples are (possibly reservoir-sampled) response times for
-	// percentile estimation, seconds.
+	// percentile estimation, seconds. Nil when the run used streaming
+	// percentiles (Config.StreamingPercentiles); read Quantiles then.
 	Samples []float64
+	// Quantiles holds the class's streaming P² quantile estimators when
+	// the run used Config.StreamingPercentiles; nil otherwise.
+	Quantiles *stats.StreamingQuantiles
 }
 
 // Percentile returns the class's p-th percentile response time
-// (p in (0,100]) from the retained samples.
+// (p in (0,100]) from the retained samples, or from the streaming
+// estimators when the run kept no sample buffer.
 func (c ClassResult) Percentile(p float64) float64 {
+	if len(c.Samples) == 0 && c.Quantiles != nil {
+		return c.Quantiles.Quantile(p / 100)
+	}
 	return stats.Percentile(c.Samples, p)
 }
 
@@ -73,12 +81,26 @@ type Result struct {
 	// CacheMissRate is the observed session-cache miss fraction (0
 	// when the cache variant is disabled).
 	CacheMissRate float64
-	// Duration is the measurement window in simulated seconds.
+	// Duration is the measurement window in simulated seconds. Fixed
+	// runs report Config.Duration; adaptive runs report the window the
+	// stopping rule actually measured.
 	Duration float64
+	// OverallQuantiles holds cross-class streaming quantile estimators
+	// when the run used Config.StreamingPercentiles; nil otherwise.
+	OverallQuantiles *stats.StreamingQuantiles
+	// Converged, Batches and AchievedRelErr describe an adaptive run's
+	// stopping state (RunAdaptive / MeasureOptions.TargetRelErr):
+	// whether the relative confidence-interval half-width of the mean
+	// response time reached the target, over how many batches, and the
+	// half-width finally achieved. Zero-valued on fixed-horizon runs.
+	Converged      bool
+	Batches        int
+	AchievedRelErr float64
 }
 
 // OverallPercentile returns the p-th percentile response time across
-// all classes' retained samples.
+// all classes' retained samples, or from the cross-class streaming
+// estimators when the run kept no sample buffers.
 func (r *Result) OverallPercentile(p float64) float64 {
 	var all []float64
 	names := make([]string, 0, len(r.PerClass))
@@ -88,6 +110,9 @@ func (r *Result) OverallPercentile(p float64) float64 {
 	sort.Strings(names)
 	for _, name := range names {
 		all = append(all, r.PerClass[name].Samples...)
+	}
+	if len(all) == 0 && r.OverallQuantiles != nil {
+		return r.OverallQuantiles.Quantile(p / 100)
 	}
 	return stats.Percentile(all, p)
 }

@@ -1,0 +1,78 @@
+package trade
+
+import (
+	"perfpred/internal/sim"
+	"perfpred/internal/workload"
+)
+
+// typeSampler resolves a service class's request-type mix once per run:
+// the mix's types in deterministic order, their demands pre-looked-up
+// from the demand table, and — for multi-type mixes — a Walker/Vose
+// alias table so each pick costs one uniform draw and no sort. The old
+// per-request path rebuilt the sorted type list and scanned a CDF on
+// every pick; this sampler does that work exactly once per Config.
+//
+// Draw discipline: a single-type mix consumes no draws (matching the
+// legacy fast path); a multi-type mix consumes exactly one uniform
+// draw per pick in both modes. Compat mode reproduces the legacy
+// Stream.Choose CDF-inversion draw-to-type mapping bit for bit; the
+// default alias mapping samples the identical distribution but maps
+// draws to types differently, so multi-type per-seed sequences change
+// (Config.CompatTypeChoice restores the old ones).
+type typeSampler struct {
+	types   []workload.RequestType
+	demands []workload.Demand
+	weights []float64
+	alias   *sim.AliasTable // nil for single-type mixes and compat mode
+}
+
+// newTypeSampler builds a sampler for one class mix against a demand
+// table. The caller has validated that every type in the mix has a
+// demand entry.
+func newTypeSampler(mix workload.Mix, demands map[workload.RequestType]workload.Demand, compat bool) *typeSampler {
+	t := &typeSampler{
+		types:   orderedTypes(mix),
+		demands: make([]workload.Demand, 0, len(mix)),
+		weights: make([]float64, 0, len(mix)),
+	}
+	for _, rt := range t.types {
+		t.demands = append(t.demands, demands[rt])
+		t.weights = append(t.weights, mix[rt])
+	}
+	if len(t.types) > 1 && !compat {
+		t.alias = sim.NewAliasTable(t.weights)
+	}
+	return t
+}
+
+// pick returns the index of the next request type, consuming one
+// uniform draw from choose for multi-type mixes and none otherwise.
+func (t *typeSampler) pick(choose *sim.Stream) int {
+	if len(t.types) == 1 {
+		return 0
+	}
+	if t.alias != nil {
+		return t.alias.Pick(choose)
+	}
+	return choose.Choose(t.weights)
+}
+
+// sample returns the resolved demand of the next request type.
+func (t *typeSampler) sample(choose *sim.Stream) workload.Demand {
+	return t.demands[t.pick(choose)]
+}
+
+// orderedTypes returns map keys in a fixed order so runs are
+// deterministic for a given seed.
+func orderedTypes(m workload.Mix) []workload.RequestType {
+	out := make([]workload.RequestType, 0, len(m))
+	for rt := range m {
+		out = append(out, rt)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

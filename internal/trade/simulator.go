@@ -2,6 +2,7 @@ package trade
 
 import (
 	"math"
+	"sort"
 
 	"perfpred/internal/sim"
 	"perfpred/internal/stats"
@@ -25,6 +26,11 @@ type appServer struct {
 // The workload-manager routing of the paper's §2 decides which server
 // each request visits; the database server keeps one FIFO queue per
 // application server (sim.PerSourceFIFO keyed by server index).
+//
+// All per-request state is pooled: clients live in one slice, request
+// lifecycles in a free list of reqStates, and the per-class mixes are
+// pre-resolved into typeSamplers — the steady-state request loop
+// performs no heap allocation.
 type simulator struct {
 	cfg  Config
 	eng  *sim.Engine
@@ -38,13 +44,40 @@ type simulator struct {
 	choose *sim.Stream
 	route  *sim.Stream
 
-	rrNext       int
-	sessionBytes map[int]int64
+	rrNext        int
+	stickyWeights []float64 // server speeds, hoisted for assignSticky
+	sessionBytes  []int64   // per-client session size (cache variant)
 
-	measuring bool
-	acc       map[string]*classAcc
-	ops       *opAccumulators
-	opAccRNG  *sim.Stream
+	clients  []client     // closed clients, pooled in one slice
+	sessions []buySession // detailed buy sessions, pooled in one slice
+	reqFree  *reqState    // retired request records for reuse
+
+	measuring   bool
+	measuredDur float64 // actual measurement window (adaptive runs); 0 = cfg.Duration
+	acc         map[string]*classAcc
+	classNames  []string // sorted class names for deterministic collection
+	overall     *stats.StreamingQuantiles
+	ops         *opAccumulators
+
+	// intercept, when set, receives every completion (simulated time,
+	// response time) from t=0 instead of the measuring-gated class
+	// accumulators — the transient study's hook.
+	intercept func(now, rt float64)
+
+	// Hoisted detailed-operation tables (§3.1), resolved once per run.
+	browseOps                   []Operation
+	browseWeights               []float64
+	opRegister, opBuy, opLogoff Operation
+}
+
+// simOptions selects constructor variants shared by the steady-state
+// and transient entry points.
+type simOptions struct {
+	// skipOpen leaves open populations idle — the transient study
+	// covers the closed populations.
+	skipOpen bool
+	// intercept routes every completion to the caller from t=0.
+	intercept func(now, rt float64)
 }
 
 type classAcc struct {
@@ -52,18 +85,27 @@ type classAcc struct {
 	samples   []float64
 	seen      int
 	maxSample int
-	rng       *sim.Stream // reservoir sampling stream
+	rng       *sim.Stream                // reservoir sampling stream
+	quant     *stats.StreamingQuantiles // non-nil in streaming mode
 }
 
 func (a *classAcc) record(rt float64) {
 	a.rt.Add(rt)
+	if a.quant != nil {
+		a.quant.Add(rt)
+		return
+	}
 	a.seen++
-	if len(a.samples) < a.maxSample {
+	if a.seen <= a.maxSample {
+		// Filling phase: every observation is retained, so quantiles
+		// over the buffer are exact — no replacement draws are made and
+		// the buffer is an unbiased (indeed complete) sample.
 		a.samples = append(a.samples, rt)
 		return
 	}
-	// Reservoir sampling keeps an unbiased percentile estimate with
-	// bounded memory on very long runs.
+	// Reservoir sampling (Algorithm R): observation number `seen`
+	// replaces a uniformly random slot with probability
+	// maxSample/seen, keeping every prefix a uniform sample.
 	if idx := a.rng.Intn(a.seen); idx < a.maxSample {
 		a.samples[idx] = rt
 	}
@@ -77,6 +119,11 @@ type client struct {
 	class   workload.ServiceClass
 	home    int
 	session *buySession // non-nil for detailed buy clients
+
+	detailBrowse bool         // detailed-operations browse client
+	sampler      *typeSampler // the class's resolved request-type mix
+	acc          *classAcc    // the class's response-time accumulator
+	issue        func()       // bound once: begin the next request
 }
 
 // buySession tracks a detailed buy client's place in its
@@ -89,6 +136,23 @@ type buySession struct {
 
 // Run simulates the configured measurement and returns its result.
 func Run(cfg Config) (*Result, error) {
+	s, err := newSimulator(cfg, simOptions{})
+	if err != nil {
+		return nil, err
+	}
+	// Warm up, reset statistics, then measure.
+	s.eng.Run(s.cfg.WarmUp, 0)
+	s.resetStats()
+	s.measuring = true
+	s.eng.Run(s.cfg.WarmUp+s.cfg.Duration, 0)
+	return s.collect(), nil
+}
+
+// newSimulator builds the network, registers every population and
+// schedules the initial arrivals. Both Run and TransientCurve use it,
+// so transient studies honour the full Config (caches, critical
+// sections, multi-server tiers) with the same per-seed draw sequences.
+func newSimulator(cfg Config, opt simOptions) (*simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,15 +162,16 @@ func Run(cfg Config) (*Result, error) {
 	eng := sim.NewEngine()
 	root := sim.NewStream(cfg.Seed)
 	s := &simulator{
-		cfg:     cfg,
-		eng:     eng,
-		dbSlots: sim.NewSemaphore(eng, cfg.DB.Name+"/agents", cfg.DB.MPL, sim.PerSourceFIFO),
-		dbCPU:   sim.NewStation(eng, cfg.DB.Name+"/cpu", cfg.DB.Speed, 0, sim.GlobalFIFO),
-		think:   root.Derive(1),
-		serve:   root.Derive(2),
-		choose:  root.Derive(3),
-		route:   root.Derive(5),
-		acc:     make(map[string]*classAcc),
+		cfg:       cfg,
+		eng:       eng,
+		dbSlots:   sim.NewSemaphore(eng, cfg.DB.Name+"/agents", cfg.DB.MPL, sim.PerSourceFIFO),
+		dbCPU:     sim.NewStation(eng, cfg.DB.Name+"/cpu", cfg.DB.Speed, 0, sim.GlobalFIFO),
+		think:     root.Derive(1),
+		serve:     root.Derive(2),
+		choose:    root.Derive(3),
+		route:     root.Derive(5),
+		acc:       make(map[string]*classAcc),
+		intercept: opt.intercept,
 	}
 	for _, arch := range cfg.tier() {
 		app := &appServer{
@@ -122,32 +187,83 @@ func Run(cfg Config) (*Result, error) {
 		}
 		s.apps = append(s.apps, app)
 	}
-	if cfg.Cache != nil {
-		s.sessionBytes = make(map[int]int64)
+	if len(s.apps) > 1 {
+		s.stickyWeights = make([]float64, len(s.apps))
+		for i, app := range s.apps {
+			s.stickyWeights[i] = app.arch.Speed
+		}
+	}
+	if cfg.StreamingPercentiles {
+		s.overall = stats.NewStreamingQuantiles(cfg.StreamQuantiles)
 	}
 	if cfg.DetailedOperations {
-		s.ops = newOpAccumulators(cfg.MaxRTSamples)
-		s.opAccRNG = root.Derive(7)
+		s.ops = newOpAccumulators(cfg.MaxRTSamples, root.Derive(7), cfg.StreamingPercentiles, cfg.StreamQuantiles)
+		s.browseOps = BrowseOperations()
+		s.browseWeights = make([]float64, len(s.browseOps))
+		for i, op := range s.browseOps {
+			s.browseWeights[i] = op.Weight
+		}
+		s.opRegister, s.opBuy, s.opLogoff = BuySessionOperations()
 	}
 	sampleRNG := root.Derive(4)
 	arrivals := root.Derive(6)
-	id := 0
+
+	// Pool the closed clients and detailed buy sessions in single
+	// slices before registration, so per-client state never escapes to
+	// individual heap objects.
+	totalClients, totalSessions := 0, 0
 	for _, pop := range cfg.Load {
+		if pop.Open() {
+			continue
+		}
+		totalClients += pop.Clients
+		if cfg.DetailedOperations && pop.Class.Mix.Fraction(workload.Buy) == 1 {
+			totalSessions += pop.Clients
+		}
+	}
+	s.clients = make([]client, totalClients)
+	s.sessions = make([]buySession, totalSessions)
+	if cfg.Cache != nil {
+		s.sessionBytes = make([]int64, totalClients)
+	}
+
+	// Registration order, and the draw order within it, exactly match
+	// the legacy construction: per closed client a sticky-route draw,
+	// a session-size draw (cache variant) and a think-time draw, in
+	// population order; open streams draw their first inter-arrival gap
+	// in place.
+	id, sessID := 0, 0
+	for _, pop := range cfg.Load {
+		sampler := newTypeSampler(pop.Class.Mix, cfg.Demands, cfg.CompatTypeChoice)
 		s.acc[pop.Class.Name] = &classAcc{maxSample: cfg.MaxRTSamples, rng: sampleRNG.Derive(uint64(len(s.acc)))}
+		if cfg.StreamingPercentiles {
+			s.acc[pop.Class.Name].quant = stats.NewStreamingQuantiles(cfg.StreamQuantiles)
+		}
 		if pop.Open() {
 			// Open stream (§8.1): Poisson arrivals at a constant rate,
 			// each an independent request with no think loop and no
 			// session identity.
-			s.startOpenStream(pop, arrivals.Derive(uint64(len(s.acc))))
+			if !opt.skipOpen {
+				s.startOpenStream(pop, sampler, arrivals.Derive(uint64(len(s.acc))))
+			}
 			continue
 		}
 		for i := 0; i < pop.Clients; i++ {
-			c := &client{id: id, class: pop.Class, home: -1}
+			c := &s.clients[id]
+			c.id = id
+			c.class = pop.Class
+			c.home = -1
+			c.sampler = sampler
 			if cfg.Routing == RouteSticky || cfg.Routing == "" {
 				c.home = s.assignSticky()
 			}
-			if cfg.DetailedOperations && pop.Class.Mix.Fraction(workload.Buy) == 1 {
-				c.session = &buySession{}
+			if cfg.DetailedOperations {
+				if pop.Class.Mix.Fraction(workload.Buy) == 1 {
+					c.session = &s.sessions[sessID]
+					sessID++
+				} else if pop.Class.Mix.Fraction(workload.Browse) == 1 {
+					c.detailBrowse = true
+				}
 			}
 			id++
 			if s.sessionBytes != nil {
@@ -157,17 +273,24 @@ func Run(cfg Config) (*Result, error) {
 				}
 				s.sessionBytes[c.id] = size
 			}
+			c.issue = func() { s.issueRequest(c) }
 			// Stagger initial arrivals across one think time so the
 			// run does not start with a synchronized burst.
-			eng.Schedule(s.think.Exp(pop.Class.ThinkTimeMean), func() { s.issueRequest(c) })
+			eng.Schedule(s.think.Exp(pop.Class.ThinkTimeMean), c.issue)
 		}
 	}
-	// Warm up, reset statistics, then measure.
-	eng.Run(cfg.WarmUp, 0)
-	s.resetStats()
-	s.measuring = true
-	eng.Run(cfg.WarmUp+cfg.Duration, 0)
-	return s.collect(), nil
+	// Bind accumulators in a second pass: with duplicate class names the
+	// last registration wins for every client of that name, matching the
+	// legacy record-time map lookup.
+	for i := range s.clients {
+		s.clients[i].acc = s.acc[s.clients[i].class.Name]
+	}
+	s.classNames = make([]string, 0, len(s.acc))
+	for name := range s.acc {
+		s.classNames = append(s.classNames, name)
+	}
+	sort.Strings(s.classNames)
+	return s, nil
 }
 
 // startOpenStream schedules Poisson arrivals for an open population.
@@ -175,24 +298,20 @@ func Run(cfg Config) (*Result, error) {
 // back to speed-weighted random choice — an arrival has no home
 // server) and bypasses the session cache, which models per-client
 // state that open requests do not carry.
-func (s *simulator) startOpenStream(pop workload.Population, rng *sim.Stream) {
+func (s *simulator) startOpenStream(pop workload.Population, sampler *typeSampler, rng *sim.Stream) {
 	mean := 1 / pop.ArrivalRate
+	name := pop.Class.Name
 	var arrive func()
 	arrive = func() {
 		s.eng.Schedule(rng.Exp(mean), arrive)
-		demand := s.cfg.Demands[s.pickRequestType(pop.Class)]
-		arrival := s.eng.Now()
-		srv := s.pickServerOpen()
-		app := s.apps[srv]
-		app.slots.Acquire(0, func() {
-			s.processOpenRequest(srv, demand, func() {
-				app.slots.Release()
-				if s.measuring {
-					s.acc[pop.Class.Name].record(s.eng.Now() - arrival)
-					app.completed++
-				}
-			})
-		})
+		d := sampler.sample(s.choose)
+		r := s.getReq()
+		r.acc = s.acc[name]
+		r.d = d
+		r.arrival = s.eng.Now()
+		r.srv = s.pickServerOpen()
+		r.app = s.apps[r.srv]
+		r.app.slots.Acquire(0, r.onSlot)
 	}
 	s.eng.Schedule(rng.Exp(mean), arrive)
 }
@@ -202,38 +321,10 @@ func (s *simulator) startOpenStream(pop workload.Population, rng *sim.Stream) {
 func (s *simulator) pickServerOpen() int {
 	switch s.cfg.Routing {
 	case RouteRoundRobin, RouteLeastBusy:
-		return s.pickServer(&client{home: 0})
+		return s.pickServerFor(0)
 	default:
 		return s.assignSticky()
 	}
-}
-
-// processOpenRequest is processRequest without session-cache handling.
-func (s *simulator) processOpenRequest(srv int, d workload.Demand, done func()) {
-	app := s.apps[srv]
-	dbCalls := s.sampleCalls(d.DBCallsPerRequest)
-	totalCPU := s.serve.Exp(d.AppServerTime)
-	segment := totalCPU / float64(dbCalls+1)
-	var step func(remaining int)
-	step = func(remaining int) {
-		app.cpu.Submit(0, segment, func() {
-			if remaining == 0 {
-				done()
-				return
-			}
-			s.dbSlots.Acquire(srv, func() {
-				s.dbCPU.Submit(srv, s.serve.Exp(d.DBTimePerCall), func() {
-					s.dbSlots.Release()
-					if d.DBLatencyPerCall > 0 {
-						s.eng.Schedule(s.serve.Exp(d.DBLatencyPerCall), func() { step(remaining - 1) })
-						return
-					}
-					step(remaining - 1)
-				})
-			})
-		})
-	}
-	step(dbCalls)
 }
 
 // assignSticky spreads clients across the tier in proportion to server
@@ -243,15 +334,12 @@ func (s *simulator) assignSticky() int {
 	if len(s.apps) == 1 {
 		return 0
 	}
-	weights := make([]float64, len(s.apps))
-	for i, app := range s.apps {
-		weights[i] = app.arch.Speed
-	}
-	return s.route.Choose(weights)
+	return s.route.Choose(s.stickyWeights)
 }
 
-// pickServer routes one request per the configured policy.
-func (s *simulator) pickServer(c *client) int {
+// pickServerFor routes one request per the configured policy, given
+// the issuing client's home server.
+func (s *simulator) pickServerFor(home int) int {
 	switch s.cfg.Routing {
 	case RouteRoundRobin:
 		i := s.rrNext % len(s.apps)
@@ -267,7 +355,7 @@ func (s *simulator) pickServer(c *client) int {
 		}
 		return best
 	default: // RouteSticky
-		return c.home
+		return home
 	}
 }
 
@@ -286,48 +374,33 @@ func (s *simulator) resetStats() {
 
 // issueRequest begins one request: pick the operation (or coarse
 // request type) for this client, route it to an application server,
-// queue for a thread, process, respond, then think and repeat.
+// queue for a thread, process, respond, then think and repeat. The
+// whole lifecycle runs on a pooled reqState — no per-request closures.
 func (s *simulator) issueRequest(c *client) {
-	demand, opName := s.nextRequest(c)
-	arrival := s.eng.Now()
-	srv := s.pickServer(c)
-	app := s.apps[srv]
-	app.slots.Acquire(0, func() {
-		s.processRequest(c, srv, demand, func() {
-			app.slots.Release()
-			if s.measuring {
-				rt := s.eng.Now() - arrival
-				s.acc[c.class.Name].record(rt)
-				if s.ops != nil && opName != "" {
-					s.ops.record(opName, rt, func() *classAcc {
-						return &classAcc{maxSample: s.cfg.MaxRTSamples, rng: s.opAccRNG.Derive(uint64(len(s.ops.byName)))}
-					})
-				}
-				app.completed++
-			}
-			s.eng.Schedule(s.think.Exp(c.class.ThinkTimeMean), func() { s.issueRequest(c) })
-		})
-	})
+	d, opName := s.nextRequest(c)
+	r := s.getReq()
+	r.c = c
+	r.acc = c.acc
+	r.d = d
+	r.opName = opName
+	r.arrival = s.eng.Now()
+	r.srv = s.pickServerFor(c.home)
+	r.app = s.apps[r.srv]
+	r.app.slots.Acquire(0, r.onSlot)
 }
 
 // nextRequest resolves the client's next request to a demand and,
 // under DetailedOperations, the Trade operation behind it.
 func (s *simulator) nextRequest(c *client) (workload.Demand, string) {
-	rt := s.pickRequestType(c.class)
-	d := s.cfg.Demands[rt]
+	d := c.sampler.sample(s.choose)
 	if !s.cfg.DetailedOperations {
 		return d, ""
 	}
 	if c.session != nil {
 		return s.nextBuyOperation(c, d)
 	}
-	if c.class.Mix.Fraction(workload.Browse) == 1 {
-		ops := BrowseOperations()
-		weights := make([]float64, len(ops))
-		for i, op := range ops {
-			weights[i] = op.Weight
-		}
-		op := ops[s.choose.Choose(weights)]
+	if c.detailBrowse {
+		op := s.browseOps[s.choose.Choose(s.browseWeights)]
 		return applyOperation(d, op), op.Name
 	}
 	return d, ""
@@ -337,25 +410,24 @@ func (s *simulator) nextRequest(c *client) (workload.Demand, string) {
 // a run of buys with a growing portfolio, then logoff (§3.1).
 func (s *simulator) nextBuyOperation(c *client, d workload.Demand) (workload.Demand, string) {
 	sess := c.session
-	register, buyOp, logoff := BuySessionOperations()
 	switch sess.phase {
 	case 0:
 		sess.phase = 1
 		sess.buysLeft = workload.BuyRequestsPerSession
 		sess.holdings = 0
-		return applyOperation(d, register), register.Name
+		return applyOperation(d, s.opRegister), s.opRegister.Name
 	case 1:
-		scaled := applyOperation(d, buyOp)
+		scaled := applyOperation(d, s.opBuy)
 		scaled.AppServerTime *= portfolioScale(sess.holdings)
 		sess.holdings++
 		sess.buysLeft--
 		if sess.buysLeft == 0 {
 			sess.phase = 2
 		}
-		return scaled, buyOp.Name
+		return scaled, s.opBuy.Name
 	default:
 		sess.phase = 0
-		return applyOperation(d, logoff), logoff.Name
+		return applyOperation(d, s.opLogoff), s.opLogoff.Name
 	}
 }
 
@@ -368,101 +440,6 @@ func applyOperation(d workload.Demand, op Operation) workload.Demand {
 		out.DBCallsPerRequest = op.DBCalls
 	}
 	return out
-}
-
-func (s *simulator) pickRequestType(class workload.ServiceClass) workload.RequestType {
-	if len(class.Mix) == 1 {
-		for rt := range class.Mix {
-			return rt
-		}
-	}
-	types := make([]workload.RequestType, 0, len(class.Mix))
-	weights := make([]float64, 0, len(class.Mix))
-	for _, rt := range orderedTypes(class.Mix) {
-		types = append(types, rt)
-		weights = append(weights, class.Mix[rt])
-	}
-	return types[s.choose.Choose(weights)]
-}
-
-// orderedTypes returns map keys in a fixed order so runs are
-// deterministic for a given seed.
-func orderedTypes(m workload.Mix) []workload.RequestType {
-	out := make([]workload.RequestType, 0, len(m))
-	for rt := range m {
-		out = append(out, rt)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
-}
-
-// processRequest runs the request's service demand as CPU bursts
-// interleaved with synchronous database calls, holding the
-// application-server thread throughout — the WebSphere servlet
-// semantics the paper's layered model captures with nested service.
-// Database calls queue in the server's own FIFO at the database (§2).
-func (s *simulator) processRequest(c *client, srv int, d workload.Demand, done func()) {
-	app := s.apps[srv]
-	dbCalls := s.sampleCalls(d.DBCallsPerRequest)
-	dbTime := d.DBTimePerCall
-	if app.cache != nil {
-		size := s.sessionBytes[c.id]
-		if !app.cache.touch(c.id, size) {
-			extra := s.sampleCalls(s.cfg.Cache.MissExtraDBCalls)
-			dbCalls += extra
-		}
-	}
-	totalCPU := s.serve.Exp(d.AppServerTime) // reference-scale demand; CPU speed scales service
-	segments := dbCalls + 1
-	segment := totalCPU / float64(segments)
-	var step func(remainingCalls int)
-	enter := func() { step(dbCalls) }
-	if cs := s.cfg.CriticalSection; cs != nil && s.serve.Float64() < cs.Fraction {
-		// The request must hold the server-global lock while executing
-		// the protected section — the implicit queue of §8.1.
-		inner := enter
-		enter = func() {
-			app.csLock.Acquire(0, func() {
-				app.cpu.Submit(0, s.serve.Exp(cs.MeanTime), func() {
-					app.csLock.Release()
-					inner()
-				})
-			})
-		}
-	}
-	step = func(remainingCalls int) {
-		app.cpu.Submit(0, segment, func() {
-			if remainingCalls == 0 {
-				done()
-				return
-			}
-			perCall := dbTime
-			if app.cache != nil && s.cfg.Cache.MissDBTimePerCall > 0 {
-				// The session read uses the configured miss cost; the
-				// request's own calls keep their type's cost. Using
-				// the max keeps the model simple while preserving the
-				// extra-work effect.
-				perCall = math.Max(dbTime, s.cfg.Cache.MissDBTimePerCall)
-			}
-			s.dbSlots.Acquire(srv, func() {
-				s.dbCPU.Submit(srv, s.serve.Exp(perCall), func() {
-					s.dbSlots.Release()
-					if d.DBLatencyPerCall > 0 {
-						// Pure per-call latency (disk/network): the
-						// thread waits it out off-CPU.
-						s.eng.Schedule(s.serve.Exp(d.DBLatencyPerCall), func() { step(remainingCalls - 1) })
-						return
-					}
-					step(remainingCalls - 1)
-				})
-			})
-		})
-	}
-	enter()
 }
 
 // sampleCalls draws an integer call count with the given mean:
@@ -481,10 +458,26 @@ func (s *simulator) sampleCalls(mean float64) int {
 	return base
 }
 
+// measuredTotals returns the running response-time sum and completion
+// count across classes, in sorted-name order so batch-mean extraction
+// is deterministic regardless of map layout.
+func (s *simulator) measuredTotals() (sum float64, count int) {
+	for _, name := range s.classNames {
+		acc := s.acc[name]
+		count += acc.rt.Count()
+		sum += acc.rt.Sum()
+	}
+	return sum, count
+}
+
 func (s *simulator) collect() *Result {
+	dur := s.measuredDur
+	if dur == 0 {
+		dur = s.cfg.Duration
+	}
 	res := &Result{
 		PerClass: make(map[string]ClassResult, len(s.acc)),
-		Duration: s.cfg.Duration,
+		Duration: dur,
 	}
 	var speedSum, utilSum, heldSum, queueSum float64
 	var hits, misses uint64
@@ -495,7 +488,7 @@ func (s *simulator) collect() *Result {
 			Utilization:   u,
 			MeanSlotsHeld: app.slots.MeanHeld(),
 			Completed:     int(app.completed),
-			Throughput:    float64(app.completed) / s.cfg.Duration,
+			Throughput:    float64(app.completed) / dur,
 		})
 		speedSum += app.arch.Speed
 		utilSum += u * app.arch.Speed
@@ -517,16 +510,20 @@ func (s *simulator) collect() *Result {
 	if hits+misses > 0 {
 		res.CacheMissRate = float64(misses) / float64(hits+misses)
 	}
+	// Classes are collected in sorted-name order so the weighted mean's
+	// floating-point summation is deterministic for any class count.
 	var totalWeighted float64
 	totalCompleted := 0
-	for name, acc := range s.acc {
+	for _, name := range s.classNames {
+		acc := s.acc[name]
 		cr := ClassResult{
 			Class:      name,
 			Completed:  acc.rt.Count(),
 			MeanRT:     acc.rt.Mean(),
 			RTStdDev:   acc.rt.StdDev(),
-			Throughput: float64(acc.rt.Count()) / s.cfg.Duration,
+			Throughput: float64(acc.rt.Count()) / dur,
 			Samples:    acc.samples,
+			Quantiles:  acc.quant,
 		}
 		res.PerClass[name] = cr
 		totalWeighted += cr.MeanRT * float64(cr.Completed)
@@ -535,7 +532,8 @@ func (s *simulator) collect() *Result {
 	if totalCompleted > 0 {
 		res.MeanRT = totalWeighted / float64(totalCompleted)
 	}
-	res.Throughput = float64(totalCompleted) / s.cfg.Duration
+	res.Throughput = float64(totalCompleted) / dur
+	res.OverallQuantiles = s.overall
 	if s.ops != nil {
 		res.PerOperation = s.ops.results()
 	}

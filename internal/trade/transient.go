@@ -3,7 +3,6 @@ package trade
 import (
 	"errors"
 
-	"perfpred/internal/sim"
 	"perfpred/internal/stats"
 )
 
@@ -25,6 +24,9 @@ type TransientPoint struct {
 // stabilisation behaviour as a variable (§8.2) — something the
 // steady-state-only layered method cannot represent. The config's
 // WarmUp field is ignored; Duration bounds the observation window.
+// Open populations are left idle — the transient study covers the
+// closed populations — but the full Config is otherwise honoured,
+// including session caches and critical sections.
 func TransientCurve(cfg Config, bucket float64) ([]TransientPoint, error) {
 	if bucket <= 0 {
 		return nil, errors.New("trade: bucket must be positive")
@@ -32,73 +34,24 @@ func TransientCurve(cfg Config, bucket float64) ([]TransientPoint, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
-	root := sim.NewStream(cfg.Seed)
-	// A reduced single-tier simulator is enough for the transient
-	// study; reuse the full simulator with measurement on from t=0 and
-	// intercept completions into buckets via the class accumulators.
 	buckets := int(cfg.Duration/bucket) + 1
 	points := make([]TransientPoint, buckets)
-	accs := make([]*stats.Accumulator, buckets)
-	for i := range accs {
-		accs[i] = &stats.Accumulator{}
+	accs := make([]stats.Accumulator, buckets)
+	for i := range points {
 		points[i].Time = float64(i+1) * bucket
 	}
-
-	s := &simulator{
-		cfg:     cfg,
-		eng:     eng,
-		dbSlots: sim.NewSemaphore(eng, cfg.DB.Name+"/agents", cfg.DB.MPL, sim.PerSourceFIFO),
-		dbCPU:   sim.NewStation(eng, cfg.DB.Name+"/cpu", cfg.DB.Speed, 0, sim.GlobalFIFO),
-		think:   root.Derive(1),
-		serve:   root.Derive(2),
-		choose:  root.Derive(3),
-		route:   root.Derive(5),
-		acc:     make(map[string]*classAcc),
-	}
-	for _, arch := range cfg.tier() {
-		s.apps = append(s.apps, &appServer{
-			arch:  arch,
-			slots: sim.NewSemaphore(eng, arch.Name+"/threads", arch.MPL, sim.GlobalFIFO),
-			cpu:   sim.NewStation(eng, arch.Name+"/cpu", arch.Speed, 0, sim.GlobalFIFO),
-		})
-	}
-	record := func(rt float64) {
-		idx := int(eng.Now() / bucket)
-		if idx >= 0 && idx < buckets {
-			accs[idx].Add(rt)
-		}
-	}
-	id := 0
-	for _, pop := range cfg.Load {
-		if pop.Open() {
-			continue // transient study covers the closed populations
-		}
-		for i := 0; i < pop.Clients; i++ {
-			c := &client{id: id, class: pop.Class, home: -1}
-			if cfg.Routing == RouteSticky || cfg.Routing == "" {
-				c.home = s.assignSticky()
+	s, err := newSimulator(cfg, simOptions{
+		skipOpen: true,
+		intercept: func(now, rt float64) {
+			if idx := int(now / bucket); idx >= 0 && idx < buckets {
+				accs[idx].Add(rt)
 			}
-			id++
-			class := pop.Class
-			var issue func()
-			issue = func() {
-				demand := cfg.Demands[s.pickRequestType(class)]
-				arrival := eng.Now()
-				srv := s.pickServer(c)
-				app := s.apps[srv]
-				app.slots.Acquire(0, func() {
-					s.processRequest(c, srv, demand, func() {
-						app.slots.Release()
-						record(eng.Now() - arrival)
-						eng.Schedule(s.think.Exp(class.ThinkTimeMean), issue)
-					})
-				})
-			}
-			eng.Schedule(s.think.Exp(class.ThinkTimeMean), issue)
-		}
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	eng.Run(cfg.Duration, 0)
+	s.eng.Run(cfg.Duration, 0)
 	for i := range points {
 		points[i].MeanRT = accs[i].Mean()
 		points[i].Completed = accs[i].Count()
