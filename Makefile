@@ -9,10 +9,13 @@
 #                 zero-alloc request-loop benchmarks, and the
 #                 BENCH_lqn.json / BENCH_trade.json snapshots (commit
 #                 them to extend the perf trajectory).
+#   make metrics-smoke — observability tier: run two quick experiments
+#                 with -report and assert the snapshot parses and the
+#                 solver, simulator and cache counters actually moved.
 
 GO ?= go
 
-.PHONY: test race bench
+.PHONY: test race bench metrics-smoke
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -30,3 +33,10 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkHybridBuild|BenchmarkBuildRelationship3' -benchmem ./internal/hybrid
 	$(GO) run ./cmd/lqnbench -out BENCH_lqn.json
 	$(GO) run ./cmd/tradebench -bench -out BENCH_trade.json
+
+metrics-smoke:
+	$(GO) run ./cmd/experiments -report /tmp/perfpred-metrics.json gradient cache > /dev/null
+	$(GO) run ./cmd/obscheck -in /tmp/perfpred-metrics.json \
+		lqn_solver_solves lqn_solver_mva_iterations \
+		sim_events_fired trade_requests_completed \
+		sessioncache_solves trade_cache_hits

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-seed 17] [-workers N] [-list] [name ...]
+//	experiments [-seed 17] [-workers N] [-list] [-metrics-addr :9100] [-report metrics.json] [name ...]
 //
 // With no names, every experiment runs in paper order. Sweeps fan out
 // across -workers concurrent simulations (default: all cores);
@@ -23,6 +23,8 @@ import (
 	"time"
 
 	"perfpred/internal/bench"
+	"perfpred/internal/instrument"
+	"perfpred/internal/obs"
 )
 
 func main() {
@@ -32,7 +34,29 @@ func main() {
 	format := flag.String("format", "text", "output format: text|json")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9100)")
+	report := flag.String("report", "", "write a JSON metrics snapshot to this file on exit")
 	flag.Parse()
+
+	if *metricsAddr != "" || *report != "" {
+		instrument.EnableAll(obs.Default)
+		if *metricsAddr != "" {
+			addr, err := obs.Serve(*metricsAddr, obs.Default)
+			if err != nil {
+				fatal(err)
+			}
+			// Notices go to stderr so stdout stays byte-identical.
+			fmt.Fprintf(os.Stderr, "experiments: metrics on http://%s/metrics\n", addr)
+		}
+		if *report != "" {
+			path := *report
+			defer func() {
+				if err := obs.WriteReport(path, obs.Default); err != nil {
+					fatal(err)
+				}
+			}()
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

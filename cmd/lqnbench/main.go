@@ -15,7 +15,9 @@ import (
 	"testing"
 
 	"perfpred/internal/hybrid"
+	"perfpred/internal/instrument"
 	"perfpred/internal/lqn"
+	"perfpred/internal/obs"
 	"perfpred/internal/workload"
 )
 
@@ -83,7 +85,28 @@ func sweep(warm bool) int {
 
 func main() {
 	out := flag.String("out", "BENCH_lqn.json", "output JSON path (- for stdout)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	report := flag.String("report", "", "write a JSON metrics snapshot to this file on exit")
 	flag.Parse()
+
+	if *metricsAddr != "" || *report != "" {
+		instrument.EnableAll(obs.Default)
+		if *metricsAddr != "" {
+			addr, err := obs.Serve(*metricsAddr, obs.Default)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "lqnbench: metrics on http://%s/metrics\n", addr)
+		}
+		if *report != "" {
+			path := *report
+			defer func() {
+				if err := obs.WriteReport(path, obs.Default); err != nil {
+					fatal(err)
+				}
+			}()
+		}
+	}
 
 	snap := snapshot{
 		Note: "LQN solver baseline; regenerate with `make bench` (timings are machine-dependent, allocs and iteration counts are not)",

@@ -1,0 +1,57 @@
+// Command obscheck validates a metrics report written by the -report
+// flag of the experiment tools: it parses the JSON snapshot and asserts
+// that the named counters are present and non-zero. The metrics-smoke
+// CI tier uses it to prove the observability layer is actually wired
+// through the hot paths, not just compiled in.
+//
+//	obscheck -in metrics.json lqn_solver_solves sim_events_fired
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"perfpred/internal/obs"
+)
+
+func main() {
+	in := flag.String("in", "", "metrics snapshot JSON to check")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "usage: obscheck -in metrics.json counter ...")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *in, err))
+	}
+
+	failed := false
+	for _, name := range flag.Args() {
+		v, ok := snap.Counters[name]
+		switch {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "obscheck: counter %q missing from %s\n", name, *in)
+			failed = true
+		case v == 0:
+			fmt.Fprintf(os.Stderr, "obscheck: counter %q is zero\n", name)
+			failed = true
+		default:
+			fmt.Printf("%s %d\n", name, v)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obscheck:", err)
+	os.Exit(1)
+}

@@ -46,9 +46,13 @@ func main() {
 		loads = append(loads, n)
 	}
 
+	// The study tool exists to sweep slack through and below 1 (figure
+	// 7 runs all the way to 0), so it opts into sub-unity multipliers.
+	opts := rm.Options{AllowDeflation: true}
+
 	switch cmd {
 	case "sweep":
-		points, err := rm.SweepLoad(rm.CaseStudyShares(), servers, pred, truth, *slack, loads, rm.Options{}, rm.EvalOptions{})
+		points, err := rm.SweepLoad(rm.CaseStudyShares(), servers, pred, truth, *slack, loads, opts, rm.EvalOptions{})
 		if err != nil {
 			fatal(err)
 		}
@@ -61,7 +65,7 @@ func main() {
 		for v := *from; v >= *to-1e-9; v -= *step {
 			slacks = append(slacks, v)
 		}
-		points, err := rm.SweepSlack(rm.CaseStudyShares(), servers, pred, truth, slacks, loads, rm.Options{}, rm.EvalOptions{})
+		points, err := rm.SweepSlack(rm.CaseStudyShares(), servers, pred, truth, slacks, loads, opts, rm.EvalOptions{})
 		if err != nil {
 			fatal(err)
 		}
@@ -71,7 +75,7 @@ func main() {
 		}
 	case "minzero":
 		slacks := []float64{1.0, 1.025, 1.05, 1.075, 1.1, 1.15, 1.2, 1.3}
-		s, err := rm.MinZeroFailureSlack(rm.CaseStudyShares(), servers, pred, truth, slacks, loads, rm.Options{}, rm.EvalOptions{})
+		s, err := rm.MinZeroFailureSlack(rm.CaseStudyShares(), servers, pred, truth, slacks, loads, opts, rm.EvalOptions{})
 		if err != nil {
 			fatal(err)
 		}

@@ -20,6 +20,8 @@ import (
 	"sort"
 	"strings"
 
+	"perfpred/internal/instrument"
+	"perfpred/internal/obs"
 	"perfpred/internal/trade"
 	"perfpred/internal/workload"
 )
@@ -40,7 +42,28 @@ func main() {
 	detailed := flag.Bool("detailed", false, "operation-level Trade workload (§3.1)")
 	bench := flag.Bool("bench", false, "run the simulator benchmarks and write a JSON snapshot")
 	out := flag.String("out", "BENCH_trade.json", "snapshot path for -bench (- for stdout)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	report := flag.String("report", "", "write a JSON metrics snapshot to this file on exit")
 	flag.Parse()
+
+	if *metricsAddr != "" || *report != "" {
+		instrument.EnableAll(obs.Default)
+		if *metricsAddr != "" {
+			addr, err := obs.Serve(*metricsAddr, obs.Default)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "tradebench: metrics on http://%s/metrics\n", addr)
+		}
+		if *report != "" {
+			path := *report
+			defer func() {
+				if err := obs.WriteReport(path, obs.Default); err != nil {
+					fatal(err)
+				}
+			}()
+		}
+	}
 
 	if *bench {
 		runBenchmarks(*out)

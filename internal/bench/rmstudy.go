@@ -69,7 +69,9 @@ func (s *Suite) Figure5and6() (*Table, error) {
 	slacks := []float64{1.1, 1.0, 0.9}
 	series, err := parallel.Map(context.Background(), s.Opt.Workers, len(slacks),
 		func(_ context.Context, i int) ([]rm.SweepPoint, error) {
-			return rm.SweepLoad(rm.CaseStudyShares(), servers, pred, truth, slacks[i], studyLoads(), rm.Options{}, rm.EvalOptions{})
+			// The study sweeps slack below 1 deliberately (figure 5's
+			// 0.9 line), which Allocate otherwise rejects.
+			return rm.SweepLoad(rm.CaseStudyShares(), servers, pred, truth, slacks[i], studyLoads(), rm.Options{AllowDeflation: true}, rm.EvalOptions{})
 		})
 	if err != nil {
 		return nil, err
@@ -101,7 +103,7 @@ func (s *Suite) Figure7() (*Table, error) {
 		slacks = append(slacks, v)
 	}
 	slacks = append(slacks, 0)
-	points, err := rm.SweepSlack(rm.CaseStudyShares(), servers, pred, truth, slacks, studyLoads(), rm.Options{}, rm.EvalOptions{})
+	points, err := rm.SweepSlack(rm.CaseStudyShares(), servers, pred, truth, slacks, studyLoads(), rm.Options{AllowDeflation: true}, rm.EvalOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +130,7 @@ func (s *Suite) Figure8() (*Table, error) {
 	for v := 1.10; v >= 0.899; v -= 0.025 {
 		slacks = append(slacks, v)
 	}
-	points, err := rm.SweepSlack(rm.CaseStudyShares(), servers, pred, truth, slacks, studyLoads(), rm.Options{}, rm.EvalOptions{})
+	points, err := rm.SweepSlack(rm.CaseStudyShares(), servers, pred, truth, slacks, studyLoads(), rm.Options{AllowDeflation: true}, rm.EvalOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +161,8 @@ func (s *Suite) UniformInaccuracy() (*Table, error) {
 	loads := []int{2000, 4000, 6000, 8000}
 	for _, y := range []float64{0.9, 1.0, 1.1, 1.2, 1.3} {
 		pred := rm.Biased{Base: truthSet, Y: y}
-		compensated, err := rm.SweepLoad(rm.CaseStudyShares(), servers, pred, truthSet, y, loads, rm.Options{}, rm.EvalOptions{})
+		// slack = y dips below 1 at y = 0.9.
+		compensated, err := rm.SweepLoad(rm.CaseStudyShares(), servers, pred, truthSet, y, loads, rm.Options{AllowDeflation: true}, rm.EvalOptions{})
 		if err != nil {
 			return nil, err
 		}

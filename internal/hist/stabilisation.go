@@ -62,11 +62,13 @@ func FitStabilisation(points []StabilisationPoint) (*StabilisationModel, error) 
 	// information (beyond measurement noise).
 	noise := 0.02 * steady
 	var ts, gaps []float64
+	var signedGapSum float64
 	for _, p := range points[:len(points)*2/3] {
 		gap := math.Abs(p.MeanRT - steady)
 		if gap > noise {
 			ts = append(ts, p.Time)
 			gaps = append(gaps, gap)
+			signedGapSum += p.MeanRT - steady
 		}
 	}
 	if len(ts) < 2 {
@@ -84,8 +86,12 @@ func FitStabilisation(points []StabilisationPoint) (*StabilisationModel, error) 
 		return &StabilisationModel{Steady: steady, R0: steady, Tau: 0}, nil
 	}
 	tau := -1 / expFit.Rate
+	// The approach direction (overshoot vs undershoot) is decided by the
+	// aggregate of the fitted points, not the first bucket alone: a single
+	// noisy early sample on the other side of steady would otherwise flip
+	// R0's sign and invert the whole trajectory.
 	sign := 1.0
-	if points[0].MeanRT < steady {
+	if signedGapSum < 0 {
 		sign = -1
 	}
 	return &StabilisationModel{

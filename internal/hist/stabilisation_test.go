@@ -58,6 +58,34 @@ func TestFitStabilisationAlreadySteady(t *testing.T) {
 	}
 }
 
+// TestFitStabilisationUndershootWithNoisyFirstBucket pins the sign
+// choice for R0: a ramp-up (undershoot) trajectory whose very first
+// bucket is a noise spike sitting *above* the steady level. Deciding
+// the approach direction from points[0] alone would read the spike as
+// an overshoot and flip R0 to the wrong side of steady; the aggregate
+// over the fitted points must recover the undershoot.
+func TestFitStabilisationUndershootWithNoisyFirstBucket(t *testing.T) {
+	const steady, r0, tau = 0.200, 0.020, 30.0
+	pts := syntheticTrajectory(steady, r0, tau, 40, 5)
+	// One noisy early sample on the wrong side of steady (gap well
+	// beyond the 2% noise floor).
+	pts[0].MeanRT = steady * 1.15
+	m, err := FitStabilisation(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R0 >= m.Steady {
+		t.Fatalf("undershoot trajectory fitted R0 %v above steady %v: noisy first bucket flipped the sign", m.R0, m.Steady)
+	}
+	// The model still tracks the true trajectory away from the spike.
+	for _, tm := range []float64{20, 50, 150} {
+		want := steady + (r0-steady)*math.Exp(-tm/tau)
+		if got := m.At(tm); math.Abs(got-want)/want > 0.20 {
+			t.Fatalf("At(%v) = %v, want ≈%v", tm, got, want)
+		}
+	}
+}
+
 func TestFitStabilisationErrors(t *testing.T) {
 	if _, err := FitStabilisation(nil); err == nil {
 		t.Fatal("empty input should fail")

@@ -103,10 +103,15 @@ func Build(cfg Config, servers []workload.ServerArch) (*Model, error) {
 		m.Servers[servers[i].Name] = b.sm
 	}
 	m.StartupDelay = time.Since(start)
+	if mm := metrics.Load(); mm != nil {
+		mm.builds.Inc()
+		mm.evaluations.Add(uint64(m.Evaluations))
+	}
 	return m, nil
 }
 
 func buildServer(cfg Config, arch workload.ServerArch) (*hist.ServerModel, int, error) {
+	mm := metrics.Load()
 	evals := 0
 	// The whole pseudo-data sweep solves one model at different browse
 	// populations: build it once, mutate the population in place, and
@@ -126,11 +131,13 @@ func buildServer(cfg Config, arch workload.ServerArch) (*hist.ServerModel, int, 
 	// Max throughput: solve far past the saturation the benchmark
 	// suggests and read the plateau throughput.
 	estSat := int(arch.Speed * workload.MaxThroughputF * (workload.ThinkTimeMean + 1))
+	phase := mm.phaseStart()
 	res, err := solveTypical(2 * estSat)
 	if err != nil {
 		return nil, evals, err
 	}
 	evals++
+	mm.phaseEnd(pickMaxTP, phase)
 	xMax := res.TotalThroughput()
 	if xMax <= 0 {
 		return nil, evals, errors.New("hybrid: layered model predicts zero max throughput")
@@ -138,11 +145,13 @@ func buildServer(cfg Config, arch workload.ServerArch) (*hist.ServerModel, int, 
 
 	// Gradient: one light-load solve; m = X/N well below saturation.
 	nLight := maxInt(1, int(0.2*float64(estSat)))
+	phase = mm.phaseStart()
 	res, err = solveTypical(nLight)
 	if err != nil {
 		return nil, evals, err
 	}
 	evals++
+	mm.phaseEnd(pickGrad, phase)
 	m := res.TotalThroughput() / float64(nLight)
 	if m <= 0 {
 		return nil, evals, errors.New("hybrid: layered model predicts zero gradient")
@@ -168,16 +177,20 @@ func buildServer(cfg Config, arch workload.ServerArch) (*hist.ServerModel, int, 
 		}
 		return nil
 	}
+	phase = mm.phaseStart()
 	if err := gen(spread(0.20, 0.62, cfg.PointsPerEquation)); err != nil {
 		return nil, evals, err
 	}
 	if err := gen(spread(1.15, 1.70, cfg.PointsPerEquation)); err != nil {
 		return nil, evals, err
 	}
+	mm.phaseEnd(pickData, phase)
+	phase = mm.phaseStart()
 	sm, err := hist.CalibrateServer(arch, xMax, m, points)
 	if err != nil {
 		return nil, evals, err
 	}
+	mm.phaseEnd(pickCal, phase)
 	return sm, evals, nil
 }
 
@@ -266,5 +279,8 @@ func BuildRelationship3(cfg Config, established workload.ServerArch, buyPcts []f
 		points = append(points, hist.BuyPoint{BuyPct: pct, MaxThroughput: res.TotalThroughput()})
 	}
 	rel3, err := hist.FitRelationship3(points)
+	if mm := metrics.Load(); mm != nil {
+		mm.evaluations.Add(uint64(evals))
+	}
 	return rel3, evals, err
 }

@@ -1,0 +1,66 @@
+package hybrid
+
+import (
+	"sync/atomic"
+	"time"
+
+	"perfpred/internal/obs"
+)
+
+// hybridMetrics time the hybrid method's one-off start-up cost (§8.5)
+// phase by phase: where the 11-seconds-on-an-Athlon delay actually
+// goes. Histograms record seconds per server architecture built.
+type hybridMetrics struct {
+	builds      *obs.Counter   // Build calls completed
+	evaluations *obs.Counter   // layered-solver runs during start-up
+	phaseMaxTP  *obs.Histogram // max-throughput solve
+	phaseGrad   *obs.Histogram // light-load gradient solve
+	phaseData   *obs.Histogram // pseudo-data generation sweep
+	phaseCal    *obs.Histogram // relationship-1 calibration
+}
+
+var metrics atomic.Pointer[hybridMetrics]
+
+// EnableMetrics registers the hybrid builder's counters and phase
+// timers on r and turns instrumentation on. A nil r disables
+// instrumentation again; when disabled the builder takes no wall-clock
+// readings beyond its existing StartupDelay measurement.
+func EnableMetrics(r *obs.Registry) {
+	if r == nil {
+		metrics.Store(nil)
+		return
+	}
+	b := obs.DurationBuckets()
+	metrics.Store(&hybridMetrics{
+		builds:      r.Counter("hybrid_builds"),
+		evaluations: r.Counter("hybrid_evaluations"),
+		phaseMaxTP:  r.Histogram("hybrid_phase_maxthroughput_seconds", b...),
+		phaseGrad:   r.Histogram("hybrid_phase_gradient_seconds", b...),
+		phaseData:   r.Histogram("hybrid_phase_pseudodata_seconds", b...),
+		phaseCal:    r.Histogram("hybrid_phase_calibrate_seconds", b...),
+	})
+}
+
+// phaseStart returns a start time only when instrumentation is on, so
+// the disabled path takes no clock readings.
+func (m *hybridMetrics) phaseStart() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// phaseEnd records the elapsed phase time into the histogram selected
+// by pick. The field access happens behind the nil guard, so call
+// sites need no guard of their own.
+func (m *hybridMetrics) phaseEnd(pick func(*hybridMetrics) *obs.Histogram, start time.Time) {
+	if m == nil {
+		return
+	}
+	pick(m).Observe(time.Since(start).Seconds())
+}
+
+func pickMaxTP(m *hybridMetrics) *obs.Histogram { return m.phaseMaxTP }
+func pickGrad(m *hybridMetrics) *obs.Histogram  { return m.phaseGrad }
+func pickData(m *hybridMetrics) *obs.Histogram  { return m.phaseData }
+func pickCal(m *hybridMetrics) *obs.Histogram   { return m.phaseCal }

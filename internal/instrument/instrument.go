@@ -1,0 +1,27 @@
+// Package instrument wires the obs metrics registry into every
+// instrumented subsystem in one call, so command-line tools can turn
+// the whole observability layer on (or off) with a single switch
+// instead of tracking per-package EnableMetrics functions.
+package instrument
+
+import (
+	"perfpred/internal/hybrid"
+	"perfpred/internal/lqn"
+	"perfpred/internal/obs"
+	"perfpred/internal/rm"
+	"perfpred/internal/sessioncache"
+	"perfpred/internal/sim"
+	"perfpred/internal/trade"
+)
+
+// EnableAll registers every subsystem's metrics on r and starts
+// recording. A nil registry disables instrumentation everywhere,
+// returning the hot paths to their zero-cost default.
+func EnableAll(r *obs.Registry) {
+	lqn.EnableMetrics(r)
+	sim.EnableMetrics(r)
+	trade.EnableMetrics(r)
+	sessioncache.EnableMetrics(r)
+	hybrid.EnableMetrics(r)
+	rm.EnableMetrics(r)
+}

@@ -1,0 +1,60 @@
+package lqn
+
+import (
+	"sync/atomic"
+
+	"perfpred/internal/obs"
+)
+
+// solverMetrics are the package-level solver counters. They are global
+// rather than per-Solver because solvers are created freely inside
+// sweeps and fixed-point loops; the interesting totals are
+// process-wide.
+type solverMetrics struct {
+	solves       *obs.Counter // completed Solve calls (all paths)
+	iterations   *obs.Counter // MVA sweeps (Schweitzer) / recursion steps (exact)
+	warmHits     *obs.Counter // Schweitzer solves seeded from a warm iterate
+	warmMisses   *obs.Counter // warm-start-enabled solves that started cold
+	convFailures *obs.Counter // solves that hit the iteration cap unconverged
+}
+
+var metrics atomic.Pointer[solverMetrics]
+
+// EnableMetrics registers the solver's counters on r and turns
+// instrumentation on for every Solver in the process. A nil r disables
+// instrumentation again. The hot path cost when disabled is one atomic
+// pointer load per Solve.
+func EnableMetrics(r *obs.Registry) {
+	if r == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&solverMetrics{
+		solves:       r.Counter("lqn_solver_solves"),
+		iterations:   r.Counter("lqn_solver_mva_iterations"),
+		warmHits:     r.Counter("lqn_solver_warm_hits"),
+		warmMisses:   r.Counter("lqn_solver_warm_misses"),
+		convFailures: r.Counter("lqn_solver_convergence_failures"),
+	})
+}
+
+// record publishes one completed solve. warmEligible is true only for
+// warm-start-enabled Schweitzer solves, the one path where hit/miss is
+// meaningful.
+func (m *solverMetrics) record(iterations int, converged, warmEligible, usedWarm bool) {
+	if m == nil {
+		return
+	}
+	m.solves.Inc()
+	m.iterations.Add(uint64(iterations))
+	if !converged {
+		m.convFailures.Inc()
+	}
+	if warmEligible {
+		if usedWarm {
+			m.warmHits.Inc()
+		} else {
+			m.warmMisses.Inc()
+		}
+	}
+}

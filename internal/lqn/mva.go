@@ -44,6 +44,7 @@ type mvaWorkspace struct {
 	// Solution metadata.
 	iterations int
 	converged  bool
+	usedWarm   bool // last Schweitzer solve started from a warm iterate
 
 	// Warm-start bookkeeping: the shape q was converged for.
 	warmI, warmK int
@@ -143,6 +144,7 @@ func (ws *mvaWorkspace) solveSchweitzer(p *solvePlan, convergence float64, maxIt
 	}
 
 	useWarm := warm && ws.warmOK && ws.warmI == I && ws.warmK == K
+	ws.usedWarm = useWarm
 	ws.warmOK = false
 	ws.q = growF(ws.q, I*K)
 	ws.X = growF(ws.X, K)
@@ -372,6 +374,7 @@ func (ws *mvaWorkspace) solveExact(p *solvePlan) error {
 	}
 	ws.iterations = pop
 	ws.converged = true
+	ws.usedWarm = false
 	// The exact recursion's queue lengths are not a Schweitzer iterate;
 	// never warm-start from them.
 	ws.invalidateWarm()

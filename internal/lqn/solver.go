@@ -190,6 +190,7 @@ func (s *Solver) Solve(m *Model, opt Options) (*Result, error) {
 			return nil, err
 		}
 		res.SolveTime = time.Since(start)
+		metrics.Load().record(res.Iterations, res.Converged, false, false)
 		return res, nil
 	}
 
@@ -235,13 +236,14 @@ func (s *Solver) Solve(m *Model, opt Options) (*Result, error) {
 		}
 	}
 
+	warmEligible := false
 	switch {
 	case K == 0:
 		// Purely open model: no closed iteration needed.
 		ws.q = growF(ws.q, 0)
 		ws.U = growF(ws.U, I)
 		copy(ws.U, ws.openUtil)
-		ws.iterations, ws.converged = 0, true
+		ws.iterations, ws.converged, ws.usedWarm = 0, true, false
 		ws.invalidateWarm()
 	case opt.ExactMVA:
 		if err := p.exactApplicable(ws); err != nil {
@@ -251,6 +253,7 @@ func (s *Solver) Solve(m *Model, opt Options) (*Result, error) {
 			return nil, err
 		}
 	default:
+		warmEligible = s.WarmStart
 		if err := ws.solveSchweitzer(p, opt.Convergence, opt.MaxIterations, opt.Damping, s.WarmStart); err != nil {
 			return nil, err
 		}
@@ -307,6 +310,7 @@ func (s *Solver) Solve(m *Model, opt Options) (*Result, error) {
 		}
 	}
 	out.SolveTime = time.Since(start)
+	metrics.Load().record(ws.iterations, ws.converged, warmEligible, ws.usedWarm)
 	return out, nil
 }
 

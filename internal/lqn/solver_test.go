@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"perfpred/internal/obs"
 	"perfpred/internal/workload"
 )
 
@@ -133,6 +134,43 @@ func TestSolverZeroAllocWarmStart(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("warm-started Solve allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSolverZeroAllocWithMetrics repeats the steady-state zero-alloc
+// contract with the observability layer registered and enabled: the
+// per-solve record path is a handful of atomic adds, so turning
+// metrics on must not cost an allocation.
+func TestSolverZeroAllocWithMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	defer EnableMetrics(nil)
+	m := tradeTestModel(t, 100)
+	s := NewSolver()
+	s.WarmStart = true
+	if _, err := s.Solve(m, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		n++
+		m.Classes[0].Population = 100 + 50*(n%2)
+		if _, err := s.Solve(m, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("metrics-enabled Solve allocates %v allocs/op, want 0", allocs)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["lqn_solver_solves"] == 0 {
+		t.Fatal("metrics enabled but lqn_solver_solves stayed zero")
+	}
+	if snap.Counters["lqn_solver_mva_iterations"] == 0 {
+		t.Fatal("metrics enabled but lqn_solver_mva_iterations stayed zero")
+	}
+	if snap.Counters["lqn_solver_warm_hits"] == 0 {
+		t.Fatal("warm-started sweep recorded no lqn_solver_warm_hits")
 	}
 }
 

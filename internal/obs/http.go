@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// Handler returns the observability HTTP mux for a registry:
+//
+//	/metrics      plain-text metric dump (WriteText)
+//	/debug/vars   expvar JSON (stdlib runtime + cmdline vars)
+//	/debug/pprof  full net/http/pprof suite
+//
+// The pprof handlers are mounted explicitly rather than via the
+// package's init side effect on http.DefaultServeMux, so the returned
+// mux is self-contained.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.Snapshot().WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability endpoint on addr in a background
+// goroutine and returns the bound address (useful with ":0"). The
+// listener lives for the rest of the process — the cmd tools exit
+// rather than shut it down.
+func Serve(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// WriteReport writes the registry's snapshot as indented JSON to path,
+// the end-of-run report format produced by the cmd tools' -report flag.
+func WriteReport(path string, r *Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: report: %w", err)
+	}
+	if err := r.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: report: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: report: %w", err)
+	}
+	return nil
+}

@@ -53,6 +53,9 @@ func Evaluate(plan *Plan, classes []Class, servers []Server, truth Predictor, op
 	if threshold <= 0 {
 		return nil, fmt.Errorf("rm: invalid reject threshold %v", threshold)
 	}
+	if mm := metrics.Load(); mm != nil {
+		mm.evaluateCalls.Inc()
+	}
 
 	classByName := make(map[string]Class, len(classes))
 	for _, c := range classes {
@@ -252,6 +255,9 @@ func Evaluate(plan *Plan, classes []Class, servers []Server, truth Predictor, op
 // realCapacity asks the truth predictor how many clients the
 // architecture actually holds within the goal.
 func realCapacity(truth Predictor, arch string, goal float64) (int, error) {
+	if mm := metrics.Load(); mm != nil {
+		mm.predictorCalls.Inc()
+	}
 	maxN, err := truth.MaxClients(arch, goal)
 	if err != nil {
 		return 0, err

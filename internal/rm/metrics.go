@@ -1,0 +1,37 @@
+package rm
+
+import (
+	"sync/atomic"
+
+	"perfpred/internal/obs"
+)
+
+// rmMetrics count the resource manager's planning and evaluation work:
+// Algorithm 1 runs, placements made, planned rejections, runtime
+// evaluations, and how often the underlying performance model is
+// consulted (the §8.5 prediction-delay driver).
+type rmMetrics struct {
+	allocateCalls     *obs.Counter // Allocate (Algorithm 1) runs
+	allocations       *obs.Counter // placements appended to plans
+	plannedRejections *obs.Counter // planned clients rejected from plans
+	evaluateCalls     *obs.Counter // Evaluate (runtime playout) runs
+	predictorCalls    *obs.Counter // Predictor.MaxClients consultations
+}
+
+var metrics atomic.Pointer[rmMetrics]
+
+// EnableMetrics registers the resource manager's counters on r and
+// turns instrumentation on. A nil r disables instrumentation again.
+func EnableMetrics(r *obs.Registry) {
+	if r == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&rmMetrics{
+		allocateCalls:     r.Counter("rm_allocate_calls"),
+		allocations:       r.Counter("rm_allocations"),
+		plannedRejections: r.Counter("rm_planned_rejections"),
+		evaluateCalls:     r.Counter("rm_evaluate_calls"),
+		predictorCalls:    r.Counter("rm_predictor_calls"),
+	})
+}

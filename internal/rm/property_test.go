@@ -21,7 +21,7 @@ func TestEvaluateConservesClientsProperty(t *testing.T) {
 			return false
 		}
 		pred := Biased{Base: truth, Y: bias}
-		plan, err := Allocate(classes, servers, pred, slack, Options{})
+		plan, err := Allocate(classes, servers, pred, slack, Options{AllowDeflation: true})
 		if err != nil {
 			return false
 		}
@@ -59,7 +59,7 @@ func TestAllocateRespectsPredictedCapacityProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		plan, err := Allocate(classes, servers, truth, slack, Options{})
+		plan, err := Allocate(classes, servers, truth, slack, Options{AllowDeflation: true})
 		if err != nil {
 			return false
 		}

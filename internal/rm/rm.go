@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"perfpred/internal/obs"
 )
 
 // Predictor is the model interface the resource manager consumes; the
@@ -87,6 +89,15 @@ type Options struct {
 	// smallest feasible server for a class's final allocation — the
 	// ablation knob.
 	DisableLastServerRule bool
+
+	// AllowDeflation permits slack multipliers below 1. The paper's
+	// slack compensates for predictive inaccuracy by *inflating* the
+	// planned workload, so sub-unity values silently under-plan (slack 0
+	// plans nothing at all and reports perfect usage with no
+	// rejections). Allocate rejects them unless this is set — the §9
+	// tuning study sets it to sweep slack through and below 1
+	// deliberately, mapping the full failure/usage trade-off curve.
+	AllowDeflation bool
 }
 
 // Allocate runs Algorithm 1: service classes sorted by increasing
@@ -102,6 +113,11 @@ func Allocate(classes []Class, servers []Server, pred Predictor, slack float64, 
 	}
 	if slack < 0 {
 		return nil, fmt.Errorf("rm: negative slack %v", slack)
+	}
+	if slack < 1 && !opts.AllowDeflation {
+		return nil, fmt.Errorf("rm: slack %v < 1 deflates the planned workload instead of inflating it "+
+			"(slack compensates for predictive inaccuracy by planning extra clients); "+
+			"set Options.AllowDeflation for a deliberate sub-unity sweep", slack)
 	}
 	for _, c := range classes {
 		if c.GoalRT <= 0 {
@@ -131,6 +147,12 @@ func Allocate(classes []Class, servers []Server, pred Predictor, slack float64, 
 	}
 
 	plan := &Plan{RejectedPlanned: make(map[string]int), Slack: slack}
+	mm := metrics.Load()
+	var predCalls, placed, rejects *obs.Counter
+	if mm != nil {
+		mm.allocateCalls.Inc()
+		predCalls, placed, rejects = mm.predictorCalls, mm.allocations, mm.plannedRejections
+	}
 
 	// capacity returns how many more clients of a class with goal g
 	// the server can take per the model.
@@ -139,6 +161,7 @@ func Allocate(classes []Class, servers []Server, pred Predictor, slack float64, 
 		if s.minGoal > 0 && s.minGoal < goal {
 			goal = s.minGoal
 		}
+		predCalls.Inc()
 		maxN, err := pred.MaxClients(s.Arch, goal)
 		if err != nil {
 			return 0, err
@@ -150,7 +173,8 @@ func Allocate(classes []Class, servers []Server, pred Predictor, slack float64, 
 		return c, nil
 	}
 
-	for _, class := range sorted {
+placement:
+	for ci, class := range sorted {
 		remaining := int(math.Ceil(float64(class.Clients) * slack))
 		for remaining > 0 {
 			// Line 6: greedy server selection.
@@ -174,10 +198,19 @@ func Allocate(classes []Class, servers []Server, pred Predictor, slack float64, 
 				}
 			}
 			if best == nil {
-				// No capacity anywhere: this and all lower-priority
-				// workload is rejected from the plan.
+				// No capacity anywhere: per Algorithm 1, this and all
+				// lower-priority (looser-goal) workload is rejected from
+				// the plan — later classes are not allowed to squeeze in
+				// around a higher-priority class that did not fit.
 				plan.RejectedPlanned[class.Name] += remaining
-				break
+				rejects.Add(uint64(remaining))
+				for _, later := range sorted[ci+1:] {
+					if n := int(math.Ceil(float64(later.Clients) * slack)); n > 0 {
+						plan.RejectedPlanned[later.Name] += n
+						rejects.Add(uint64(n))
+					}
+				}
+				break placement
 			}
 			chosen, chosenCap := best, bestCap
 			if !opts.DisableLastServerRule && lastFit != nil {
@@ -193,6 +226,7 @@ func Allocate(classes []Class, servers []Server, pred Predictor, slack float64, 
 			plan.Allocations = append(plan.Allocations, Allocation{
 				Server: chosen.Name, Class: class.Name, Clients: take,
 			})
+			placed.Inc()
 			chosen.allocated += take
 			if chosen.minGoal == 0 || class.GoalRT < chosen.minGoal {
 				chosen.minGoal = class.GoalRT

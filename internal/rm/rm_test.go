@@ -1,6 +1,7 @@
 package rm
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -286,7 +287,7 @@ func TestSweepSlackTradeOff(t *testing.T) {
 	servers := CaseStudyServers()
 	loads := []int{2000, 4000, 6000, 8000}
 	slacks := []float64{1.1, 0.9, 0.7, 0.5}
-	points, err := SweepSlack(CaseStudyShares(), servers, pred, truth, slacks, loads, Options{}, EvalOptions{})
+	points, err := SweepSlack(CaseStudyShares(), servers, pred, truth, slacks, loads, Options{AllowDeflation: true}, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestMinZeroFailureSlack(t *testing.T) {
 	servers := CaseStudyServers()
 	loads := []int{2000, 4000, 6000}
 	slacks := []float64{0.9, 1.0, 1.1, 1.2, 1.3}
-	got, err := MinZeroFailureSlack(CaseStudyShares(), servers, pred, truth, slacks, loads, Options{}, EvalOptions{})
+	got, err := MinZeroFailureSlack(CaseStudyShares(), servers, pred, truth, slacks, loads, Options{AllowDeflation: true}, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,5 +418,119 @@ func TestEvaluateRejectThreshold(t *testing.T) {
 	}
 	if _, err := Evaluate(plan, classes, servers, truth, EvalOptions{RejectThreshold: -1}); err == nil {
 		t.Fatal("negative threshold should fail")
+	}
+}
+
+// stubPred is a hand-scripted predictor for capacity-shape tests:
+// caps[arch][goal] is the predicted max client count.
+type stubPred struct {
+	caps map[string]map[float64]float64
+}
+
+func (p stubPred) Predict(arch string, n float64) (float64, error) { return 0, nil }
+
+func (p stubPred) MaxClients(arch string, goal float64) (float64, error) {
+	byGoal, ok := p.caps[arch]
+	if !ok {
+		return 0, fmt.Errorf("stub: unknown arch %q", arch)
+	}
+	c, ok := byGoal[goal]
+	if !ok {
+		return 0, fmt.Errorf("stub: unknown goal %v for %q", goal, arch)
+	}
+	return c, nil
+}
+
+func TestAllocateRejectsSubUnitySlack(t *testing.T) {
+	// Regression: slack < 1 deflates the planned workload (slack 0
+	// plans nothing and reports a perfect, empty plan). Allocate must
+	// reject it unless the caller opts into deflation for a deliberate
+	// §9 sweep.
+	truth := truthModels()
+	servers := CaseStudyServers()
+	classes := []Class{{Name: "c", GoalRT: 0.600, Clients: 1000}}
+	for _, slack := range []float64{0, 0.5, 0.9, 0.999} {
+		if _, err := Allocate(classes, servers, truth, slack, Options{}); err == nil {
+			t.Fatalf("slack %v should fail without AllowDeflation", slack)
+		}
+	}
+	// Negative slack stays an error even with the opt-in.
+	if _, err := Allocate(classes, servers, truth, -0.5, Options{AllowDeflation: true}); err == nil {
+		t.Fatal("negative slack should fail even with AllowDeflation")
+	}
+	// The opt-in admits the sweep values; slack 0 is the documented
+	// no-op plan.
+	plan, err := Allocate(classes, servers, truth, 0, Options{AllowDeflation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Allocations) != 0 || plan.UsagePct != 0 {
+		t.Fatalf("slack 0 should plan nothing: %+v", plan)
+	}
+	if plan, err = Allocate(classes, servers, truth, 0.9, Options{AllowDeflation: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.PlannedFor("c"); got != 900 {
+		t.Fatalf("slack 0.9 planned %d, want 900", got)
+	}
+}
+
+func TestAllocateRejectionStopsLowerPriorityClasses(t *testing.T) {
+	// Regression for Algorithm 1's rejection semantics: once a class
+	// cannot be fully placed, that class's remainder AND all
+	// lower-priority (looser-goal) classes are rejected — later classes
+	// may not squeeze in around a higher-priority class that did not
+	// fit. The weak server here has room for the loose class but none
+	// for the tight one, so the old behavior would have placed "loose"
+	// on it after "tight" overflowed.
+	pred := stubPred{caps: map[string]map[float64]float64{
+		"strong": {0.150: 100, 0.600: 200},
+		"weak":   {0.150: 0, 0.600: 50},
+	}}
+	servers := []Server{
+		{Name: "S", Arch: "strong", Power: 100},
+		{Name: "W", Arch: "weak", Power: 50},
+	}
+	classes := []Class{
+		{Name: "tight", GoalRT: 0.150, Clients: 150},
+		{Name: "loose", GoalRT: 0.600, Clients: 40},
+	}
+	plan, err := Allocate(classes, servers, pred, 1.0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.PlannedFor("tight"); got != 100 {
+		t.Fatalf("tight planned %d, want 100 (all of S)", got)
+	}
+	if plan.RejectedPlanned["tight"] != 50 {
+		t.Fatalf("tight rejected %d, want 50", plan.RejectedPlanned["tight"])
+	}
+	if got := plan.PlannedFor("loose"); got != 0 {
+		t.Fatalf("loose planned %d, want 0: lower-priority workload is rejected once a higher class overflows", got)
+	}
+	if plan.RejectedPlanned["loose"] != 40 {
+		t.Fatalf("loose rejected %d, want 40", plan.RejectedPlanned["loose"])
+	}
+	for _, a := range plan.Allocations {
+		if a.Server == "W" {
+			t.Fatalf("nothing may be placed on the weak server after the overflow: %+v", plan.Allocations)
+		}
+	}
+
+	// Sanity: with a loose class that fits entirely, nothing is
+	// rejected and the weak server is used.
+	fitting := []Class{
+		{Name: "tight", GoalRT: 0.150, Clients: 80},
+		{Name: "loose", GoalRT: 0.600, Clients: 40},
+	}
+	plan, err = Allocate(fitting, servers, pred, 1.0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.RejectedPlanned) != 0 {
+		t.Fatalf("fitting load should reject nothing: %+v", plan.RejectedPlanned)
+	}
+	if got := plan.PlannedFor("loose"); got != 40 {
+		t.Fatalf("loose planned %d, want 40", got)
 	}
 }

@@ -1,0 +1,48 @@
+package sessioncache
+
+import (
+	"sync/atomic"
+
+	"perfpred/internal/obs"
+)
+
+// cacheMetrics count the §7.2 layered fixed point's outer-loop work:
+// how many SolveWithCache calls ran, how many outer iterations and
+// demand rebuilds (retune + model re-fold) they spent, and how many
+// gave up unconverged.
+type cacheMetrics struct {
+	solves       *obs.Counter // SolveWithCache calls completed
+	iterations   *obs.Counter // outer fixed-point iterations
+	rebuilds     *obs.Counter // demand retunes folded back into the model
+	nonConverged *obs.Counter // fixed points that hit the iteration cap
+}
+
+var metrics atomic.Pointer[cacheMetrics]
+
+// EnableMetrics registers the fixed point's counters on r and turns
+// instrumentation on. A nil r disables instrumentation again.
+func EnableMetrics(r *obs.Registry) {
+	if r == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&cacheMetrics{
+		solves:       r.Counter("sessioncache_solves"),
+		iterations:   r.Counter("sessioncache_iterations"),
+		rebuilds:     r.Counter("sessioncache_rebuilds"),
+		nonConverged: r.Counter("sessioncache_nonconverged"),
+	})
+}
+
+func recordSolve(iterations, rebuilds int, converged bool) {
+	m := metrics.Load()
+	if m == nil {
+		return
+	}
+	m.solves.Inc()
+	m.iterations.Add(uint64(iterations))
+	m.rebuilds.Add(uint64(rebuilds))
+	if !converged {
+		m.nonConverged.Inc()
+	}
+}

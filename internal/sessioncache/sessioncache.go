@@ -199,6 +199,7 @@ func SolveWithCache(server workload.ServerArch, db workload.DBServer, demands ma
 	const maxOuter = 100
 	converged := false
 	iter := 0
+	rebuilds := 0
 	for ; iter < maxOuter; iter++ {
 		if iter > 0 {
 			if err := retune(); err != nil {
@@ -208,6 +209,7 @@ func SolveWithCache(server workload.ServerArch, db workload.DBServer, demands ma
 				return nil, err
 			}
 			solver.InvalidateDemands()
+			rebuilds++
 		}
 		res, err = solver.Solve(model, opt)
 		if err != nil {
@@ -225,6 +227,7 @@ func SolveWithCache(server workload.ServerArch, db workload.DBServer, demands ma
 		// Damping keeps the outer loop stable.
 		miss = 0.5*miss + 0.5*next
 	}
+	recordSolve(iter, rebuilds, converged)
 	return &CacheSolveResult{
 		Result:     res.Clone(),
 		MissRate:   miss,

@@ -72,6 +72,12 @@ type Engine struct {
 	free   *event   // recycled events
 	nextSq uint64
 	fired  uint64
+
+	// Plain instrumentation counters (the engine is single-goroutine);
+	// flushMetrics publishes deltas to the process-wide atomics.
+	reuses, allocs                             uint64
+	heapMax                                    int
+	flushedFired, flushedReuses, flushedAllocs uint64
 }
 
 // NewEngine returns an engine with the clock at 0.
@@ -101,8 +107,10 @@ func (e *Engine) Schedule(delay float64, action func()) Event {
 	if ev != nil {
 		e.free = ev.next
 		ev.next = nil
+		e.reuses++
 	} else {
 		ev = &event{}
+		e.allocs++
 	}
 	ev.time = e.now + delay
 	ev.seq = e.nextSq
@@ -151,6 +159,7 @@ func (e *Engine) Run(until float64, limit uint64) uint64 {
 	if e.now < until && (len(e.queue) == 0 || e.queue[0].time > until) {
 		e.now = until
 	}
+	e.flushMetrics()
 	return fired
 }
 
@@ -185,6 +194,9 @@ func eventBefore(a, b *event) bool {
 // push inserts ev into the heap (sift-up).
 func (e *Engine) push(ev *event) {
 	e.queue = append(e.queue, ev)
+	if len(e.queue) > e.heapMax {
+		e.heapMax = len(e.queue)
+	}
 	q := e.queue
 	i := len(q) - 1
 	for i > 0 {

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"perfpred/internal/obs"
+)
+
+// engineMetrics are process-wide event-core counters, aggregated over
+// every Engine. Engines keep plain per-instance counters (they are
+// strictly single-goroutine) and flush deltas into these atomics at the
+// end of each Run call, so the per-event hot path never touches shared
+// cache lines and stays allocation-free.
+type engineMetrics struct {
+	fired    *obs.Counter  // events executed
+	reuses   *obs.Counter  // Schedule calls served from the free list
+	allocs   *obs.Counter  // Schedule calls that allocated a new event
+	heapHigh *obs.MaxGauge // event-heap depth high-water mark
+}
+
+var metrics atomic.Pointer[engineMetrics]
+
+// EnableMetrics registers the event core's counters on r and turns
+// instrumentation on for every Engine in the process. A nil r disables
+// instrumentation again.
+func EnableMetrics(r *obs.Registry) {
+	if r == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&engineMetrics{
+		fired:    r.Counter("sim_events_fired"),
+		reuses:   r.Counter("sim_event_reuses"),
+		allocs:   r.Counter("sim_event_allocs"),
+		heapHigh: r.MaxGauge("sim_heap_depth_high_water"),
+	})
+}
+
+// flushMetrics publishes the deltas accumulated since the last flush.
+// Called at the end of Run; a handful of atomic adds, no allocation.
+func (e *Engine) flushMetrics() {
+	m := metrics.Load()
+	if m == nil {
+		return
+	}
+	m.fired.Add(e.fired - e.flushedFired)
+	e.flushedFired = e.fired
+	m.reuses.Add(e.reuses - e.flushedReuses)
+	e.flushedReuses = e.reuses
+	m.allocs.Add(e.allocs - e.flushedAllocs)
+	e.flushedAllocs = e.allocs
+	m.heapHigh.Observe(int64(e.heapMax))
+}

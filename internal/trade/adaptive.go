@@ -100,5 +100,6 @@ func RunAdaptive(cfg Config, ctl RunControl) (*Result, error) {
 	res.Converged = converged
 	res.Batches = bm.Count()
 	res.AchievedRelErr = bm.RelHalfWidth(conf)
+	recordAdaptive(bm.Count(), converged)
 	return res, nil
 }

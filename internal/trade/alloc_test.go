@@ -3,6 +3,7 @@ package trade
 import (
 	"testing"
 
+	"perfpred/internal/obs"
 	"perfpred/internal/workload"
 )
 
@@ -80,6 +81,33 @@ func TestSteadyStateZeroAllocDetailed(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("detailed-operations request loop allocates %v objects per 2 simulated seconds, want 0", allocs)
+	}
+}
+
+// TestSteadyStateZeroAllocWithMetrics repeats the zero-alloc contract
+// with the observability layer registered and enabled: hot-path
+// instrumentation uses plain per-instance counters flushed in bulk, so
+// enabling metrics must not cost a single allocation per advance.
+func TestSteadyStateZeroAllocWithMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	defer EnableMetrics(nil)
+	s, until := steadySim(t, allocConfig())
+	allocs := testing.AllocsPerRun(50, func() {
+		until += 2
+		s.eng.Run(until, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("metrics-enabled request loop allocates %v objects per 2 simulated seconds, want 0", allocs)
+	}
+	// The flush path (collect) must not allocate either, beyond what
+	// collect itself already does — and it must actually publish.
+	if res := s.collect(); res.Throughput <= 0 {
+		t.Fatal("empty collection")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["trade_requests_completed"] == 0 {
+		t.Fatal("metrics enabled but trade_requests_completed stayed zero after collect")
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"testing"
 
+	"perfpred/internal/obs"
+	"perfpred/internal/sim"
 	"perfpred/internal/workload"
 )
 
@@ -45,6 +47,41 @@ func TestMeasureCurveParallelMatchesSerial(t *testing.T) {
 					workers, i, serial[i].Clients, pooled[i].Res, serial[i].Res)
 			}
 		}
+	}
+}
+
+// TestMeasureCurveMetricsUnderParallelSweep runs a metrics-enabled
+// parallel sweep: every concurrent simulator flushes into the same
+// shared registry, so this is the race-tier proof that the atomic
+// publish path is concurrency-safe, and that the totals survive the
+// fan-out (throughput × duration × points completions land in the
+// completed counter).
+func TestMeasureCurveMetricsUnderParallelSweep(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	sim.EnableMetrics(reg)
+	defer func() {
+		EnableMetrics(nil)
+		sim.EnableMetrics(nil)
+	}()
+	counts := []int{200, 500, 900, 1300}
+	opt := MeasureOptions{Seed: 17, WarmUp: 5, Duration: 20, Workers: 8}
+	points, err := MeasureCurve(workload.AppServF(), counts, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(0)
+	for _, p := range points {
+		for _, c := range p.Res.PerClass {
+			want += uint64(c.Completed)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["trade_requests_completed"]; got != want {
+		t.Fatalf("trade_requests_completed = %d, want the sweep's %d completions", got, want)
+	}
+	if snap.Counters["sim_events_fired"] == 0 {
+		t.Fatal("parallel sweep fired no sim events into the registry")
 	}
 }
 

@@ -52,8 +52,10 @@ func (s *simulator) getReq() *reqState {
 	if r != nil {
 		s.reqFree = r.next
 		r.next = nil
+		s.poolReuses++
 		return r
 	}
+	s.poolAllocs++
 	r = &reqState{s: s}
 	r.onSlot = r.slotGranted
 	r.onCS = r.csGranted

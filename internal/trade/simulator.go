@@ -52,6 +52,10 @@ type simulator struct {
 	sessions []buySession // detailed buy sessions, pooled in one slice
 	reqFree  *reqState    // retired request records for reuse
 
+	// Plain instrumentation counters (a simulator is single-goroutine);
+	// flushMetrics publishes them to the process-wide atomics at collect.
+	poolReuses, poolAllocs uint64
+
 	measuring   bool
 	measuredDur float64 // actual measurement window (adaptive runs); 0 = cfg.Duration
 	acc         map[string]*classAcc
@@ -85,7 +89,7 @@ type classAcc struct {
 	samples   []float64
 	seen      int
 	maxSample int
-	rng       *sim.Stream                // reservoir sampling stream
+	rng       *sim.Stream               // reservoir sampling stream
 	quant     *stats.StreamingQuantiles // non-nil in streaming mode
 }
 
@@ -537,5 +541,6 @@ func (s *simulator) collect() *Result {
 	if s.ops != nil {
 		res.PerOperation = s.ops.results()
 	}
+	s.flushMetrics(totalCompleted)
 	return res
 }
