@@ -1,21 +1,27 @@
 # Verification tiers for the perfpred reproduction.
 #
 #   make test   — tier 1: build everything and run the full test suite.
-#   make race   — race tier: the concurrent Suite, worker pool and
-#                 event-core paths under the race detector (short).
+#   make race   — race tier: the concurrent Suite, worker pool,
+#                 event-core and multi-shard fleet paths under the race
+#                 detector (short).
 #   make bench  — the performance evidence: event-core micro-benchmarks
 #                 (flat allocation counts per event), the LQN solver
 #                 fast-path benchmarks, the figure-scale sweep, the
 #                 zero-alloc request-loop benchmarks, and the
 #                 BENCH_lqn.json / BENCH_trade.json snapshots (commit
 #                 them to extend the perf trajectory).
+#   make bench-sim — the sharded-engine evidence: calendar-queue vs
+#                 heap scheduler microbenchmarks, the shard-count
+#                 scaling sweep with its built-in determinism check,
+#                 and the 1M-client headline, snapshotted to
+#                 BENCH_sim.json (commit it).
 #   make metrics-smoke — observability tier: run two quick experiments
 #                 with -report and assert the snapshot parses and the
 #                 solver, simulator and cache counters actually moved.
 
 GO ?= go
 
-.PHONY: test race bench metrics-smoke
+.PHONY: test race bench bench-sim metrics-smoke
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -24,6 +30,7 @@ race:
 	$(GO) test -race ./internal/parallel
 	$(GO) test -race -run 'TestSuiteConcurrent|TestSuiteParallelHybrid|TestFigure2ShapeHolds' ./internal/bench
 	$(GO) test -race -run 'TestEngine|TestStation|TestMeasureCurve' ./internal/sim ./internal/trade
+	$(GO) test -race -run 'TestCoordinator|TestSharded' ./internal/sim ./internal/trade
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedule|BenchmarkRunDrain|BenchmarkStationSubmit' -benchmem ./internal/sim
@@ -33,6 +40,10 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkHybridBuild|BenchmarkBuildRelationship3' -benchmem ./internal/hybrid
 	$(GO) run ./cmd/lqnbench -out BENCH_lqn.json
 	$(GO) run ./cmd/tradebench -bench -out BENCH_trade.json
+
+bench-sim:
+	$(GO) test -run '^$$' -bench 'BenchmarkCalendar|BenchmarkShard' -benchmem ./internal/sim
+	$(GO) run ./cmd/simbench -out BENCH_sim.json
 
 metrics-smoke:
 	$(GO) run ./cmd/experiments -report /tmp/perfpred-metrics.json gradient cache > /dev/null

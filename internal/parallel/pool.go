@@ -1,0 +1,81 @@
+package parallel
+
+import "sync"
+
+// Pool is a persistent worker pool for repeated barrier-style fan-out
+// over a fixed set of slots. Map spins up fresh goroutines per call,
+// which is fine for experiment sweeps (thousands of cells, one
+// fan-out) but far too heavy for the sharded simulator's coordinator,
+// which fans the same shard set out once per synchronisation window —
+// potentially millions of times per run. A Pool starts its goroutines
+// once; each Run hands every slot index to a worker over a channel and
+// blocks until all slots finish. The steady-state cost per Run is two
+// channel operations per slot and one WaitGroup cycle: no goroutine
+// creation, no closure allocation.
+//
+// The function executed per slot is fixed at construction, so callers
+// communicate per-Run inputs through state the function reads (e.g.
+// fields on the shard the index selects). Run must not be called
+// concurrently with itself. A Pool with one slot runs inline on the
+// calling goroutine — the exact serial behaviour, no goroutines at
+// all — which keeps the single-shard path free of any scheduling
+// nondeterminism.
+type Pool struct {
+	n    int
+	fn   func(slot int)
+	work chan int
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// NewPool starts a pool of n slots running fn. With n <= 1 no
+// goroutines are started and Run executes fn(0) inline.
+func NewPool(n int, fn func(slot int)) *Pool {
+	p := &Pool{n: n, fn: fn}
+	if n <= 1 {
+		return p
+	}
+	p.work = make(chan int, n)
+	p.done = make(chan struct{})
+	for w := 0; w < n; w++ {
+		go func() {
+			for slot := range p.work {
+				p.fn(slot)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Run executes fn(slot) for every slot in [0, n), returning when all
+// have completed. Slots run concurrently (up to n at once); the caller
+// must not invoke Run again until it returns.
+func (p *Pool) Run() {
+	if p.n <= 1 {
+		if p.n == 1 {
+			p.fn(0)
+		}
+		return
+	}
+	p.wg.Add(p.n)
+	for slot := 0; slot < p.n; slot++ {
+		p.work <- slot
+	}
+	p.wg.Wait()
+}
+
+// Close shuts the pool's workers down. The pool must be idle. Close is
+// idempotent; Run must not be called after Close.
+func (p *Pool) Close() {
+	if p.work == nil {
+		return
+	}
+	select {
+	case <-p.done:
+		return
+	default:
+	}
+	close(p.done)
+	close(p.work)
+}

@@ -1,0 +1,74 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Every Run must execute every slot exactly once, across many
+// repeated barriers, for serial and concurrent pool sizes.
+func TestPoolRunsEverySlot(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		counts := make([]atomic.Int64, n)
+		p := NewPool(n, func(slot int) { counts[slot].Add(1) })
+		const rounds = 200
+		for r := 0; r < rounds; r++ {
+			p.Run()
+		}
+		p.Close()
+		for i := range counts {
+			if got := counts[i].Load(); got != rounds {
+				t.Fatalf("n=%d slot %d ran %d times, want %d", n, i, got, rounds)
+			}
+		}
+	}
+}
+
+// A single-slot pool must run inline on the calling goroutine — the
+// serial path used by single-shard simulations must involve no
+// scheduling at all.
+func TestPoolSingleSlotInline(t *testing.T) {
+	var ran bool
+	p := NewPool(1, func(slot int) { ran = true })
+	p.Run() // would race with a worker goroutine under -race if not inline
+	if !ran {
+		t.Fatal("slot did not run")
+	}
+	p.Close()
+}
+
+// Run must not return before all slots complete (it is a barrier).
+func TestPoolRunIsBarrier(t *testing.T) {
+	var inFlight, maxSeen atomic.Int64
+	p := NewPool(4, func(slot int) {
+		cur := inFlight.Add(1)
+		for {
+			m := maxSeen.Load()
+			if cur <= m || maxSeen.CompareAndSwap(m, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+	})
+	for r := 0; r < 100; r++ {
+		p.Run()
+		if got := inFlight.Load(); got != 0 {
+			t.Fatalf("Run returned with %d slots in flight", got)
+		}
+	}
+	p.Close()
+	if maxSeen.Load() < 1 {
+		t.Fatal("no slot ever ran")
+	}
+}
+
+// Close is idempotent and leaves a never-started (serial) pool usable.
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(3, func(int) {})
+	p.Run()
+	p.Close()
+	p.Close()
+	s := NewPool(1, func(int) {})
+	s.Close()
+	s.Close()
+}

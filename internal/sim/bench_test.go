@@ -72,6 +72,67 @@ func BenchmarkScheduleCancelDrain(b *testing.B) {
 	}
 }
 
+// BenchmarkCalendarHold measures per-event cost with a large constant
+// population of self-rescheduling timers resident in the queue — the
+// regime a fleet shard lives in, one pending think timer per idle
+// client. The calendar's O(1) bucket operations are the point of the
+// backend, and steady state must stay allocation-free: the intrusive
+// bucket lists reuse the events' own link field.
+func BenchmarkCalendarHold(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		mk   func() *Engine
+	}{{"heap", NewEngine}, {"calendar", NewEngineCalendar}} {
+		b.Run(bc.name, func(b *testing.B) {
+			e := bc.mk()
+			rng := NewStream(7)
+			var fire func()
+			fire = func() { e.Schedule(rng.Exp(1), fire) }
+			const pending = 65536
+			for i := 0; i < pending; i++ {
+				e.Schedule(rng.Float64(), fire)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			e.Run(math.Inf(1), uint64(b.N))
+		})
+	}
+}
+
+// BenchmarkShardWindow measures one coordinator synchronisation window
+// across shards exchanging cross-shard messages — delivery, window
+// execution, barrier, outbox routing. Steady state must be
+// allocation-free: message buffers and the delivery sorter are
+// retained across windows.
+func BenchmarkShardWindow(b *testing.B) {
+	const lookahead = 1.0
+	c := NewCoordinator(4, lookahead)
+	defer c.Close()
+	rng := NewStream(11)
+	for i, sh := range c.shards {
+		sh := sh
+		id, peer := uint64(i), (i+1)%len(c.shards)
+		r := rng.Split(id)
+		var seq uint64
+		var tick func()
+		tick = func() {
+			sh.Eng.Schedule(r.Exp(0.2), tick)
+			seq++
+			sh.Send(peer, id, seq, lookahead+r.Exp(0.1), func() {})
+		}
+		sh.Eng.Schedule(r.Float64(), tick)
+	}
+	until := 0.0
+	c.Run(64) // fill event pools, message buffers, outbox slices
+	until = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		until += lookahead
+		c.Run(until)
+	}
+}
+
 // BenchmarkStationSubmit measures one processor-sharing service cycle
 // end to end (Submit → completion event → callback), the innermost
 // loop of every simulated measurement.

@@ -1,0 +1,220 @@
+package sim
+
+import "math"
+
+// calendarQueue is a bucketed event scheduler (R. Brown's calendar
+// queue): events are hashed into time-slot buckets of a common width,
+// and dequeueing walks the bucket "calendar" from the last dequeue
+// position, so both enqueue and dequeue are O(1) amortised instead of
+// the binary heap's O(log n). Per-shard engines use it because a large
+// sharded run keeps hundreds of thousands of pending events (one think
+// timer per idle client), where the heap's sift depth dominates the
+// event loop.
+//
+// Ordering is identical to the heap: (time, seq) with scheduling order
+// breaking time ties, so an engine produces the same firing sequence
+// whichever structure backs it — the equivalence is property-tested.
+//
+// Buckets are intrusive singly-linked lists threaded through the
+// events' own next field (an event is either queued or on the free
+// list, never both, so the field is free here). Push is a head
+// prepend and pop an unlink, so steady-state operation performs NO
+// allocation at all — the only allocations ever are the bucket-head
+// slices on the rare resizes, which double/halve the bucket count with
+// wide hysteresis (grow past 2× buckets, shrink under ¼) and refit
+// the width to the resident events' time spread.
+type calendarQueue struct {
+	buckets []*event // bucket heads; events chain via event.next
+	width   float64
+	size    int
+	// lastTime is the dequeue cursor: no resident event's time is below
+	// it, so the slot search can start at its bucket.
+	lastTime float64
+	// cachedMin memoises the (time,seq)-least resident event, its
+	// bucket and its list predecessor (nil when at the head), shared
+	// between peek and pop so each event is located exactly once; a nil
+	// cachedMin with size > 0 means "unknown, recompute on demand".
+	cachedMin *event
+	minPrev   *event
+	minB      int
+}
+
+const calendarMinBuckets = 8
+
+func newCalendarQueue() *calendarQueue {
+	return &calendarQueue{
+		buckets: make([]*event, calendarMinBuckets),
+		width:   1,
+	}
+}
+
+// bucketIndex maps an event time onto the calendar. Computed with a
+// float modulus rather than integer division so distant times (long
+// idle horizons) cannot overflow.
+func (cq *calendarQueue) bucketIndex(t float64) int {
+	nb := len(cq.buckets)
+	span := cq.width * float64(nb)
+	i := int(math.Mod(t, span) / cq.width)
+	if i >= nb {
+		i = nb - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+func (cq *calendarQueue) push(ev *event) {
+	if cq.size+1 > 2*len(cq.buckets) {
+		cq.resize(2 * len(cq.buckets))
+	}
+	i := cq.bucketIndex(ev.time)
+	ev.next = cq.buckets[i]
+	cq.buckets[i] = ev
+	cq.size++
+	if cq.cachedMin != nil {
+		if eventBefore(ev, cq.cachedMin) {
+			cq.cachedMin = ev
+			cq.minPrev = nil
+			cq.minB = i
+		} else if i == cq.minB && cq.minPrev == nil {
+			// The cached min was this bucket's head; the prepend just
+			// became its predecessor.
+			cq.minPrev = ev
+		}
+	}
+}
+
+// peek returns the (time,seq)-least resident event without removing
+// it, or nil when the queue is empty.
+func (cq *calendarQueue) peek() *event {
+	if cq.size == 0 {
+		return nil
+	}
+	if cq.cachedMin == nil {
+		cq.findMin()
+	}
+	return cq.cachedMin
+}
+
+// popBefore removes and returns the least event if its time is <=
+// until; otherwise the queue is left untouched and nil is returned.
+func (cq *calendarQueue) popBefore(until float64) *event {
+	ev := cq.peek()
+	if ev == nil || ev.time > until {
+		return nil
+	}
+	if cq.minPrev != nil {
+		cq.minPrev.next = ev.next
+	} else {
+		cq.buckets[cq.minB] = ev.next
+	}
+	ev.next = nil
+	cq.size--
+	cq.lastTime = ev.time
+	cq.cachedMin = nil
+	cq.minPrev = nil
+	if cq.size < len(cq.buckets)/4 && len(cq.buckets) > calendarMinBuckets {
+		cq.resize(len(cq.buckets) / 2)
+	}
+	return ev
+}
+
+// findMin locates the least resident event: walk bucket slots in
+// calendar order from the cursor for up to one full year (the classic
+// O(1)-amortised search), then fall back to a direct scan when the
+// calendar is sparse. Requires size > 0.
+func (cq *calendarQueue) findMin() {
+	nb := len(cq.buckets)
+	span := cq.width * float64(nb)
+	i := cq.bucketIndex(cq.lastTime)
+	// limit is the end of bucket i's slot within the cursor's year:
+	// any resident event below it must live in bucket i, so the first
+	// slot that yields a candidate holds the global minimum time.
+	limit := math.Floor(cq.lastTime/span)*span + float64(i+1)*cq.width
+	for k := 0; k < nb; k++ {
+		var best, bestPrev, prev *event
+		for ev := cq.buckets[i]; ev != nil; ev = ev.next {
+			if ev.time < limit && (best == nil || eventBefore(ev, best)) {
+				best, bestPrev = ev, prev
+			}
+			prev = ev
+		}
+		if best != nil {
+			cq.cachedMin = best
+			cq.minPrev = bestPrev
+			cq.minB = i
+			return
+		}
+		i++
+		if i == nb {
+			i = 0
+		}
+		limit += cq.width
+	}
+	// Sparse: nothing within a year of the cursor. Direct scan.
+	var best, bestPrev *event
+	for bi, head := range cq.buckets {
+		var prev *event
+		for ev := head; ev != nil; ev = ev.next {
+			if best == nil || eventBefore(ev, best) {
+				best, bestPrev = ev, prev
+				cq.minB = bi
+			}
+			prev = ev
+		}
+	}
+	cq.cachedMin = best
+	cq.minPrev = bestPrev
+}
+
+// resize rebuilds the calendar with n buckets and a width fitted to
+// the resident events' time spread (targeting a few events per slot).
+// Events are relinked in place; the only allocation is the bucket-head
+// slice itself.
+func (cq *calendarQueue) resize(n int) {
+	if n < calendarMinBuckets {
+		n = calendarMinBuckets
+	}
+	// Collect every resident event into one chain and measure the
+	// spread.
+	var all *event
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for bi, head := range cq.buckets {
+		for ev := head; ev != nil; {
+			next := ev.next
+			ev.next = all
+			all = ev
+			if ev.time < lo {
+				lo = ev.time
+			}
+			if ev.time > hi {
+				hi = ev.time
+			}
+			ev = next
+		}
+		cq.buckets[bi] = nil
+	}
+	width := 1.0
+	if cq.size > 1 && hi > lo {
+		// Four average gaps per slot keeps slots short while leaving
+		// headroom for clustering around the head.
+		width = (hi - lo) / float64(cq.size) * 4
+		if width <= 0 || math.IsInf(width, 0) || math.IsNaN(width) {
+			width = 1.0
+		}
+	}
+	if n != len(cq.buckets) {
+		cq.buckets = make([]*event, n)
+	}
+	cq.width = width
+	cq.cachedMin = nil
+	cq.minPrev = nil
+	for ev := all; ev != nil; {
+		next := ev.next
+		i := cq.bucketIndex(ev.time)
+		ev.next = cq.buckets[i]
+		cq.buckets[i] = ev
+		ev = next
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a calendar-queue engine fires exactly the same event
+// sequence as the heap engine for any schedule/cancel workload —
+// including time ties (broken by scheduling order), cancellations,
+// reschedules from inside actions, and enough churn to force calendar
+// resizes in both directions.
+func TestCalendarMatchesHeapProperty(t *testing.T) {
+	run := func(e *Engine, seed int64, n int) []int {
+		rng := NewStream(seed)
+		var order []int
+		id := 0
+		var churn func()
+		churn = func() {
+			// From inside an action, schedule a few follow-ups at mixed
+			// horizons, sometimes cancelling one immediately — the stale
+			// handle path — and sometimes duplicating a timestamp.
+			k := rng.Intn(3)
+			for j := 0; j < k; j++ {
+				myID := id
+				id++
+				d := rng.Exp(float64(1 + rng.Intn(50)))
+				ev := e.Schedule(d, func() {
+					order = append(order, myID)
+					if len(order) < n {
+						churn()
+					}
+				})
+				if rng.Float64() < 0.2 {
+					ev.Cancel()
+				}
+				if rng.Float64() < 0.3 {
+					dupID := id
+					id++
+					e.Schedule(d, func() { order = append(order, dupID) })
+				}
+			}
+		}
+		for i := 0; i < 10; i++ {
+			seedID := id
+			id++
+			e.Schedule(rng.Exp(2), func() {
+				order = append(order, seedID)
+				churn()
+			})
+		}
+		// Advance in small increments so the until-boundary and clock
+		// clamping paths are exercised too.
+		for e.Pending() > 0 && len(order) < n+50 {
+			e.Run(e.Now()+3, 0)
+		}
+		return order
+	}
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 20
+		a := run(NewEngine(), seed, n)
+		b := run(NewEngineCalendar(), seed, n)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The calendar must stay correct through heavy growth and shrinkage:
+// fill far past the resize threshold, drain to nearly empty, and check
+// strict (time, seq) order throughout.
+func TestCalendarResizeKeepsOrder(t *testing.T) {
+	e := NewEngineCalendar()
+	rng := NewStream(7)
+	fired := 0
+	lastTime := -1.0
+	record := func() {
+		if e.Now() < lastTime {
+			t.Fatalf("time went backwards: %v after %v", e.Now(), lastTime)
+		}
+		lastTime = e.Now()
+		fired++
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		e.Schedule(rng.Exp(100), record)
+	}
+	// Drain half, grow again with a clustered burst near the clock, then
+	// drain fully: exercises shrink, regrow and the sparse fallback.
+	e.Run(70, 0)
+	for i := 0; i < n/2; i++ {
+		e.Schedule(rng.Float64()*0.01, record)
+	}
+	e.Run(1e9, 0)
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d after full drain", e.Pending())
+	}
+	if fired != n+n/2 {
+		t.Fatalf("fired %d, want %d", fired, n+n/2)
+	}
+}
+
+// PeekTime must agree between backends and report +Inf when drained.
+func TestPeekTime(t *testing.T) {
+	for _, mk := range []func() *Engine{NewEngine, NewEngineCalendar} {
+		e := mk()
+		if !math.IsInf(e.PeekTime(), 1) {
+			t.Fatalf("empty engine PeekTime = %v, want +Inf", e.PeekTime())
+		}
+		e.Schedule(5, func() {})
+		e.Schedule(2, func() {})
+		if got := e.PeekTime(); got != 2 {
+			t.Fatalf("PeekTime = %v, want 2", got)
+		}
+		e.Run(10, 0)
+		if !math.IsInf(e.PeekTime(), 1) {
+			t.Fatalf("drained engine PeekTime = %v, want +Inf", e.PeekTime())
+		}
+	}
+}
+
+// ScheduleAt places events at absolute times and panics on times in
+// the past, on both backends.
+func TestScheduleAt(t *testing.T) {
+	for _, mk := range []func() *Engine{NewEngine, NewEngineCalendar} {
+		e := mk()
+		var order []int
+		e.Schedule(3, func() { order = append(order, 1) })
+		e.ScheduleAt(2, func() { order = append(order, 0) })
+		e.Run(10, 0)
+		if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+			t.Fatalf("order = %v, want [0 1]", order)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("ScheduleAt in the past did not panic")
+				}
+			}()
+			e.ScheduleAt(e.Now()-1, func() {})
+		}()
+	}
+}

@@ -59,7 +59,7 @@ type event struct {
 	gen       uint64
 	action    func()
 	cancelled bool
-	next      *event // free-list link, nil while queued
+	next      *event // free-list link, or calendar bucket chain; nil while heap-queued
 }
 
 // Engine is a sequential discrete-event scheduler. Events fire in
@@ -69,7 +69,8 @@ type event struct {
 type Engine struct {
 	now    float64
 	queue  []*event // concrete binary heap ordered by (time, seq)
-	free   *event   // recycled events
+	cal    *calendarQueue
+	free   *event // recycled events
 	nextSq uint64
 	fired  uint64
 
@@ -80,9 +81,20 @@ type Engine struct {
 	flushedFired, flushedReuses, flushedAllocs uint64
 }
 
-// NewEngine returns an engine with the clock at 0.
+// NewEngine returns an engine with the clock at 0, backed by the
+// binary-heap scheduler.
 func NewEngine() *Engine {
 	return &Engine{}
+}
+
+// NewEngineCalendar returns an engine backed by a calendar-queue
+// scheduler instead of the binary heap. Event ordering — and therefore
+// any seeded run's trajectory — is identical to NewEngine; the
+// calendar trades the heap's O(log n) sift for O(1) bucket operations,
+// which pays off in sharded runs holding one pending timer per idle
+// client.
+func NewEngineCalendar() *Engine {
+	return &Engine{cal: newCalendarQueue()}
 }
 
 // Now returns the current simulated time.
@@ -94,7 +106,35 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events currently scheduled (including
 // cancelled events not yet discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int {
+	if e.cal != nil {
+		return e.cal.size
+	}
+	return len(e.queue)
+}
+
+// PeekTime returns the fire time of the earliest pending event, or
+// +Inf when the queue is empty. The shard coordinator uses it to skip
+// idle synchronisation windows.
+func (e *Engine) PeekTime() float64 {
+	if e.cal != nil {
+		if ev := e.cal.peek(); ev != nil {
+			return ev.time
+		}
+		return math.Inf(1)
+	}
+	if len(e.queue) > 0 {
+		return e.queue[0].time
+	}
+	return math.Inf(1)
+}
+
+// HeapHighWater returns the maximum number of simultaneously pending
+// events observed over the engine's lifetime. Per-shard engines each
+// track their own high water; aggregation across shards goes through
+// obs max-gauge semantics (or Coordinator.HeapHighWater) rather than
+// summing, since the marks are concurrent-depth measurements.
+func (e *Engine) HeapHighWater() int { return e.heapMax }
 
 // Schedule runs action after delay units of simulated time. It panics
 // on negative or NaN delays — those are always modelling bugs, never
@@ -103,6 +143,20 @@ func (e *Engine) Schedule(delay float64, action func()) Event {
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("sim: invalid delay %v", delay))
 	}
+	return e.enqueue(e.now+delay, action)
+}
+
+// ScheduleAt runs action at absolute simulated time t. It panics when
+// t is in the past or NaN. The shard coordinator uses it to deliver
+// cross-shard messages at their precomputed fire times.
+func (e *Engine) ScheduleAt(t float64, action func()) Event {
+	if t < e.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: invalid fire time %v (now %v)", t, e.now))
+	}
+	return e.enqueue(t, action)
+}
+
+func (e *Engine) enqueue(t float64, action func()) Event {
 	ev := e.free
 	if ev != nil {
 		e.free = ev.next
@@ -112,12 +166,19 @@ func (e *Engine) Schedule(delay float64, action func()) Event {
 		ev = &event{}
 		e.allocs++
 	}
-	ev.time = e.now + delay
+	ev.time = t
 	ev.seq = e.nextSq
 	ev.action = action
 	ev.cancelled = false
 	e.nextSq++
-	e.push(ev)
+	if e.cal != nil {
+		e.cal.push(ev)
+		if e.cal.size > e.heapMax {
+			e.heapMax = e.cal.size
+		}
+	} else {
+		e.push(ev)
+	}
 	return Event{ev: ev, gen: ev.gen, time: ev.time}
 }
 
@@ -135,6 +196,9 @@ func (e *Engine) release(ev *event) {
 // queue drains, or limit events have fired (limit <= 0 means no
 // limit). It returns the number of events fired by this call.
 func (e *Engine) Run(until float64, limit uint64) uint64 {
+	if e.cal != nil {
+		return e.runCalendar(until, limit)
+	}
 	var fired uint64
 	for len(e.queue) > 0 {
 		next := e.queue[0]
@@ -163,9 +227,59 @@ func (e *Engine) Run(until float64, limit uint64) uint64 {
 	return fired
 }
 
+// runCalendar is Run over the calendar-queue backend: same firing
+// order, same clock-clamping rules, different dequeue mechanics.
+func (e *Engine) runCalendar(until float64, limit uint64) uint64 {
+	var fired uint64
+	for {
+		next := e.cal.popBefore(until)
+		if next == nil {
+			break
+		}
+		if next.cancelled {
+			e.release(next)
+			continue
+		}
+		e.now = next.time
+		action := next.action
+		e.release(next) // before the action, so it can reuse the slot
+		action()
+		e.fired++
+		fired++
+		if limit > 0 && fired >= limit {
+			break
+		}
+	}
+	if e.now < until {
+		if nxt := e.cal.peek(); nxt == nil || nxt.time > until {
+			e.now = until
+		}
+	}
+	e.flushMetrics()
+	return fired
+}
+
 // Step executes the single next event, if any, and reports whether one
 // fired.
 func (e *Engine) Step() bool {
+	if e.cal != nil {
+		for {
+			next := e.cal.popBefore(math.Inf(1))
+			if next == nil {
+				return false
+			}
+			if next.cancelled {
+				e.release(next)
+				continue
+			}
+			e.now = next.time
+			action := next.action
+			e.release(next)
+			action()
+			e.fired++
+			return true
+		}
+	}
 	for len(e.queue) > 0 {
 		next := e.pop()
 		if next.cancelled {

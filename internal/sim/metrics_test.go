@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"perfpred/internal/obs"
+)
+
+// Regression (sharded metrics): each engine flushes its own pending-
+// event high-water mark, so with several per-shard engines alive the
+// published gauge must be the MAX across engines — later flushes from
+// shallower engines must not clobber a deeper engine's mark, in any
+// flush order.
+func TestHeapHighWaterAggregatesAcrossEngines(t *testing.T) {
+	r := obs.NewRegistry()
+	EnableMetrics(r)
+	defer EnableMetrics(nil)
+
+	depths := []int{3, 17, 5} // deepest in the middle: both flush orders around it
+	engines := make([]*Engine, len(depths))
+	for i, d := range depths {
+		e := NewEngine()
+		engines[i] = e
+		for j := 0; j < d; j++ {
+			e.Schedule(float64(j+1), func() {})
+		}
+	}
+	// Flush shallow-deep-shallow, then re-flush every engine in reverse:
+	// the mark must survive every ordering.
+	for _, e := range engines {
+		e.Run(100, 0)
+	}
+	for i := len(engines) - 1; i >= 0; i-- {
+		engines[i].Run(200, 0)
+	}
+	got := r.Snapshot().MaxGauges["sim_heap_depth_high_water"]
+	if got != 17 {
+		t.Fatalf("aggregated high water = %d, want 17 (max across engines)", got)
+	}
+	for i, e := range engines {
+		if e.HeapHighWater() != depths[i] {
+			t.Fatalf("engine %d HeapHighWater = %d, want %d", i, e.HeapHighWater(), depths[i])
+		}
+	}
+}
+
+// The coordinator's high-water view is the max over its shards, not
+// the sum: the marks are concurrent queue depths of separate engines.
+func TestCoordinatorHeapHighWater(t *testing.T) {
+	c := NewCoordinator(3, 1)
+	defer c.Close()
+	for i := 0; i < c.Shards(); i++ {
+		n := (i + 1) * 4
+		eng := c.Shard(i).Eng
+		for j := 0; j < n; j++ {
+			eng.Schedule(float64(j+1), func() {})
+		}
+	}
+	c.Run(100)
+	if got := c.HeapHighWater(); got != 12 {
+		t.Fatalf("coordinator high water = %d, want 12 (max shard, not sum)", got)
+	}
+}

@@ -11,17 +11,32 @@ import (
 // should each own a Stream derived from the run seed, so changing how
 // one component consumes randomness does not perturb the others.
 type Stream struct {
-	r *rand.Rand
+	r    *rand.Rand
+	seed int64
 }
 
 // NewStream returns a stream seeded deterministically from seed.
 func NewStream(seed int64) *Stream {
-	return &Stream{r: rand.New(rand.NewSource(seed))}
+	return &Stream{r: rand.New(rand.NewSource(seed)), seed: seed}
 }
+
+// Seed returns the seed the stream was created with. Split keys off it,
+// so sibling streams can be derived without perturbing this stream's
+// draw sequence.
+func (s *Stream) Seed() int64 { return s.seed }
 
 // Derive returns a new independent stream derived from this stream's
 // seed space and the given component label hash. It allows one run
 // seed to fan out into per-component streams.
+//
+// Derive consumes a draw from the parent, so the child's seed depends
+// on the ORDER of Derive calls, not just the component id. That is the
+// right behaviour for a fixed component layout (the legacy simulator's
+// streams), but wrong for shard splitting, where the same logical
+// partition must get the same stream no matter how many siblings were
+// derived before it — re-sharding would silently reassign every
+// stream. Shard-scoped streams therefore use Split, which is a pure
+// function of (seed, index).
 func (s *Stream) Derive(component uint64) *Stream {
 	// splitmix64 over the component id, xored with fresh draws from the
 	// parent, gives well-separated child seeds.
@@ -30,6 +45,34 @@ func (s *Stream) Derive(component uint64) *Stream {
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
 	return NewStream(int64(z) ^ s.r.Int63())
+}
+
+// SplitSeed maps (seed, stream) to a child seed as a pure function:
+// it neither consumes parent draws nor depends on how many sibling
+// streams exist, so the stream keyed by a stable logical index (e.g. a
+// pool number) is identical at any shard count. For a fixed seed the
+// map stream → child is injective — splitmix64's finalising rounds are
+// bijections on uint64, composed with the bijection z → z + (stream+1)
+// × odd-constant — so two distinct stream indices can never collide on
+// the same child seed, and re-sharding can never silently reuse a
+// stream. Pairwise independence across seeds is probabilistic (64-bit
+// avalanche mixing), verified over thousands of indices in tests.
+func SplitSeed(seed int64, stream uint64) int64 {
+	z := uint64(seed) + (stream+1)*0x9e3779b97f4a7c15
+	for i := 0; i < 2; i++ {
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return int64(z)
+}
+
+// Split returns the stream's child stream for the given stable index,
+// via SplitSeed. Unlike Derive it does not advance this stream's
+// state: Split(i) returns the same stream whenever it is called, in
+// whatever order, on however many siblings.
+func (s *Stream) Split(stream uint64) *Stream {
+	return NewStream(SplitSeed(s.seed, stream))
 }
 
 // Float64 returns a uniform draw in [0,1).

@@ -48,6 +48,9 @@ func RunAdaptive(cfg Config, ctl RunControl) (*Result, error) {
 	if ctl.TargetRelErr <= 0 {
 		return nil, errors.New("trade: adaptive run needs a positive target relative error")
 	}
+	if cfg.sharded() {
+		return nil, errors.New("trade: adaptive runs are not supported on sharded configurations")
+	}
 	s, err := newSimulator(cfg, simOptions{})
 	if err != nil {
 		return nil, err

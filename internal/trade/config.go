@@ -166,10 +166,71 @@ type Config struct {
 	// uniform draw per pick; only the per-seed type sequence differs.
 	// Single-type mixes never draw, under either setting.
 	CompatTypeChoice bool
+
+	// Pools, when > 1, switches the run to the sharded fleet model: the
+	// configured network (application tier + database) is replicated
+	// Pools times, each replica carrying the configured Load with its
+	// own random streams split from Seed by stable pool index
+	// (sim.SplitSeed), so the fleet's trajectory is identical at any
+	// shard count. 0 or 1 with Shards ≤ 1 selects the legacy
+	// single-engine path, which is bit-identical to previous releases.
+	// Pools defaults to Shards when unset in a sharded run.
+	Pools int
+	// Shards is the number of engine shards the pools are partitioned
+	// across (pool i runs on shard i mod Shards); each shard advances
+	// on its own calendar-queue engine, synchronised in conservative
+	// time windows. 0 or 1 runs all pools on one engine. Shards above
+	// Pools are clamped to Pools.
+	Shards int
+	// RemoteFraction is the probability a closed client's request is
+	// forwarded to a uniformly chosen remote pool instead of its own —
+	// the cross-shard traffic of a fleet with shared-nothing replicas
+	// and occasional remote service. 0 (the default) makes pools fully
+	// independent. Requires a sharded run with at least two pools; must
+	// be < 1.
+	RemoteFraction float64
+	// ShardLatency is the one-way network latency of a cross-pool
+	// request hop, seconds; it doubles as the conservative lookahead, so
+	// it must be positive when RemoteFraction is. 0 selects
+	// DefaultShardLatency. A remote response time includes two hops.
+	ShardLatency float64
 }
 
 // DefaultMaxRTSamples bounds percentile sample buffers by default.
 const DefaultMaxRTSamples = 200000
+
+// DefaultShardLatency is the cross-pool hop latency (and conservative
+// lookahead) used when a sharded run enables RemoteFraction without
+// setting ShardLatency: 5 ms, a LAN round trip's worth of headroom
+// that keeps synchronisation windows long enough to batch usefully.
+const DefaultShardLatency = 0.005
+
+// sharded reports whether the configuration selects the fleet model
+// (shard coordinator + pool replicas) rather than the legacy
+// single-engine simulator.
+func (c Config) sharded() bool { return c.Pools > 1 || c.Shards > 1 }
+
+// effectivePools resolves the replica count of a sharded run: Pools,
+// defaulting to Shards when only the shard count was given.
+func (c Config) effectivePools() int {
+	if c.Pools > 0 {
+		return c.Pools
+	}
+	return c.Shards
+}
+
+// effectiveShards resolves the engine count: at least 1, never more
+// than the pool count (surplus shards would idle).
+func (c Config) effectiveShards() int {
+	s := c.Shards
+	if s < 1 {
+		s = 1
+	}
+	if p := c.effectivePools(); s > p {
+		s = p
+	}
+	return s
+}
 
 // tier returns the application-server tier: Servers when set,
 // otherwise the single Server.
@@ -248,6 +309,33 @@ func (c Config) Validate() error {
 		if q <= 0 || q >= 1 {
 			return fmt.Errorf("trade: stream quantile %v outside (0,1)", q)
 		}
+	}
+	if c.Pools < 0 || c.Shards < 0 {
+		return errors.New("trade: pools and shards must be non-negative")
+	}
+	if c.RemoteFraction < 0 || c.RemoteFraction >= 1 {
+		return fmt.Errorf("trade: remote fraction %v outside [0,1)", c.RemoteFraction)
+	}
+	if c.ShardLatency < 0 {
+		return errors.New("trade: shard latency must be non-negative")
+	}
+	if !c.sharded() {
+		if c.RemoteFraction != 0 || c.ShardLatency != 0 {
+			return errors.New("trade: RemoteFraction/ShardLatency require a sharded run (Pools or Shards > 1)")
+		}
+		return nil
+	}
+	// Sharded fleet restrictions: the per-operation and streaming-P²
+	// accumulators have no cross-pool merge, so those variants stay on
+	// the legacy engine.
+	if c.DetailedOperations {
+		return errors.New("trade: DetailedOperations is not supported in sharded runs")
+	}
+	if c.StreamingPercentiles {
+		return errors.New("trade: StreamingPercentiles is not supported in sharded runs")
+	}
+	if c.RemoteFraction > 0 && c.effectivePools() < 2 {
+		return errors.New("trade: RemoteFraction needs at least two pools")
 	}
 	return nil
 }

@@ -30,6 +30,7 @@ type reqState struct {
 	arrival float64
 	dbCalls int     // database calls still to make
 	segment float64 // CPU time per inter-call segment
+	xr      *xreq   // non-nil when serving a remote pool's request
 
 	next *reqState // free-list link
 
@@ -73,6 +74,7 @@ func (s *simulator) putReq(r *reqState) {
 	r.acc = nil
 	r.app = nil
 	r.opName = ""
+	r.xr = nil
 	r.next = s.reqFree
 	s.reqFree = r
 }
@@ -170,6 +172,20 @@ func (r *reqState) latDone() {
 // legacy nested closures ordered them.
 func (r *reqState) finish() {
 	s := r.s
+	if r.xr != nil {
+		// A remote pool's request: release the thread, then ship the
+		// response back across the shard boundary instead of recording
+		// locally — the origin pool owns the client and its statistics.
+		xr := r.xr
+		r.app.slots.Release()
+		if s.measuring {
+			r.app.completed++
+		}
+		s.sendSeq++
+		s.shard.Send(xr.homeShard, s.poolID, s.sendSeq, s.xLatency, xr.ret)
+		s.putReq(r)
+		return
+	}
 	r.app.slots.Release()
 	rt := s.eng.Now() - r.arrival
 	if s.intercept != nil {

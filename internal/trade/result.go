@@ -88,6 +88,10 @@ type Result struct {
 	// OverallQuantiles holds cross-class streaming quantile estimators
 	// when the run used Config.StreamingPercentiles; nil otherwise.
 	OverallQuantiles *stats.StreamingQuantiles
+	// EventsFired is the total number of simulation events executed
+	// over the whole run (warm-up included; all shards in sharded
+	// runs) — the denominator for events/sec benchmarking.
+	EventsFired uint64
 	// Converged, Batches and AchievedRelErr describe an adaptive run's
 	// stopping state (RunAdaptive / MeasureOptions.TargetRelErr):
 	// whether the relative confidence-interval half-width of the mean

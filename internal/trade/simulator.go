@@ -43,6 +43,18 @@ type simulator struct {
 	serve  *sim.Stream
 	choose *sim.Stream
 	route  *sim.Stream
+	remote *sim.Stream // cross-pool decisions; non-nil only in sharded runs with RemoteFraction > 0
+
+	// Sharded-fleet wiring (nil/zero on the legacy single-engine path):
+	// the pool's shard, its stable pool index, references to sibling
+	// pools, the resolved hop latency and a free list of cross-pool
+	// request records.
+	shard    *sim.Shard
+	poolID   uint64
+	pools    []*simulator
+	xLatency float64
+	sendSeq  uint64
+	xFree    *xreq
 
 	rrNext        int
 	stickyWeights []float64 // server speeds, hoisted for assignSticky
@@ -82,6 +94,14 @@ type simOptions struct {
 	skipOpen bool
 	// intercept routes every completion to the caller from t=0.
 	intercept func(now, rt float64)
+
+	// Sharded-fleet construction (set by newShardedSim): build the pool
+	// on an existing shard engine with a pool-split root stream instead
+	// of a private heap engine seeded directly from cfg.Seed.
+	shard   *sim.Shard
+	root    *sim.Stream
+	poolID  uint64
+	latency float64
 }
 
 type classAcc struct {
@@ -140,6 +160,9 @@ type buySession struct {
 
 // Run simulates the configured measurement and returns its result.
 func Run(cfg Config) (*Result, error) {
+	if cfg.sharded() {
+		return runSharded(cfg)
+	}
 	s, err := newSimulator(cfg, simOptions{})
 	if err != nil {
 		return nil, err
@@ -165,6 +188,14 @@ func newSimulator(cfg Config, opt simOptions) (*simulator, error) {
 	}
 	eng := sim.NewEngine()
 	root := sim.NewStream(cfg.Seed)
+	if opt.shard != nil {
+		// Sharded pool: run on the shard's calendar engine with a root
+		// stream split by stable pool index, so the pool's entire draw
+		// sequence is a pure function of (Seed, pool) — invariant under
+		// the pool→shard mapping.
+		eng = opt.shard.Eng
+		root = opt.root
+	}
 	s := &simulator{
 		cfg:       cfg,
 		eng:       eng,
@@ -294,6 +325,16 @@ func newSimulator(cfg Config, opt simOptions) (*simulator, error) {
 		s.classNames = append(s.classNames, name)
 	}
 	sort.Strings(s.classNames)
+	if opt.shard != nil {
+		s.shard = opt.shard
+		s.poolID = opt.poolID
+		s.xLatency = opt.latency
+		if cfg.RemoteFraction > 0 {
+			// Derived last so the pool's other streams keep the same
+			// component numbering as the legacy constructor.
+			s.remote = root.Derive(8)
+		}
+	}
 	return s, nil
 }
 
@@ -381,6 +422,10 @@ func (s *simulator) resetStats() {
 // queue for a thread, process, respond, then think and repeat. The
 // whole lifecycle runs on a pooled reqState — no per-request closures.
 func (s *simulator) issueRequest(c *client) {
+	if s.remote != nil && s.remote.Float64() < s.cfg.RemoteFraction {
+		s.issueRemote(c)
+		return
+	}
 	d, opName := s.nextRequest(c)
 	r := s.getReq()
 	r.c = c
@@ -541,6 +586,7 @@ func (s *simulator) collect() *Result {
 	if s.ops != nil {
 		res.PerOperation = s.ops.results()
 	}
+	res.EventsFired = s.eng.Fired()
 	s.flushMetrics(totalCompleted)
 	return res
 }

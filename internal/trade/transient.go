@@ -31,6 +31,9 @@ func TransientCurve(cfg Config, bucket float64) ([]TransientPoint, error) {
 	if bucket <= 0 {
 		return nil, errors.New("trade: bucket must be positive")
 	}
+	if cfg.sharded() {
+		return nil, errors.New("trade: transient curves are not supported on sharded configurations")
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
