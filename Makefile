@@ -18,10 +18,18 @@
 #   make metrics-smoke — observability tier: run two quick experiments
 #                 with -report and assert the snapshot parses and the
 #                 solver, simulator and cache counters actually moved.
+#   make bench-serve — the serving evidence: run the predload self
+#                 load-test against an in-process service (cold vs warm,
+#                 coalesced burst, sustained closed-loop, overload
+#                 shedding), snapshotted to BENCH_serve.json (commit it).
+#   make serve-smoke — end-to-end serving smoke: build predserve, spawn
+#                 it on an ephemeral port, verify a cold build, cache-hit
+#                 counter movement over /metrics, and a clean SIGTERM
+#                 drain.
 
 GO ?= go
 
-.PHONY: test race bench bench-sim metrics-smoke
+.PHONY: test race bench bench-sim bench-serve serve-smoke metrics-smoke
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -31,6 +39,7 @@ race:
 	$(GO) test -race -run 'TestSuiteConcurrent|TestSuiteParallelHybrid|TestFigure2ShapeHolds' ./internal/bench
 	$(GO) test -race -run 'TestEngine|TestStation|TestMeasureCurve' ./internal/sim ./internal/trade
 	$(GO) test -race -run 'TestCoordinator|TestSharded' ./internal/sim ./internal/trade
+	$(GO) test -race -run 'TestConcurrentServing|TestColdStampedeBuildsOnce|TestOverloadShedsNotCollapses|TestGracefulShutdownDrains' ./internal/serve
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedule|BenchmarkRunDrain|BenchmarkStationSubmit' -benchmem ./internal/sim
@@ -44,6 +53,13 @@ bench:
 bench-sim:
 	$(GO) test -run '^$$' -bench 'BenchmarkCalendar|BenchmarkShard' -benchmem ./internal/sim
 	$(GO) run ./cmd/simbench -out BENCH_sim.json
+
+bench-serve:
+	$(GO) run ./cmd/predload -out BENCH_serve.json
+
+serve-smoke:
+	$(GO) build -o /tmp/perfpred-predserve ./cmd/predserve
+	$(GO) run ./cmd/predload -smoke -serve-bin /tmp/perfpred-predserve
 
 metrics-smoke:
 	$(GO) run ./cmd/experiments -report /tmp/perfpred-metrics.json gradient cache > /dev/null

@@ -1,0 +1,747 @@
+// Command predload turns the prediction service on itself: it drives
+// internal/serve with trade-simulator-derived request streams and
+// snapshots the serving evidence to BENCH_serve.json, the way
+// BENCH_lqn/BENCH_trade/BENCH_sim track the other hot paths.
+//
+// Four phases, each answering one acceptance question:
+//
+//   - cold vs warm: what does a cold hybrid build (layered sweep +
+//     fixed-seed percentile calibration) cost, and how much faster is
+//     a warm-cache prediction? (target: warm p99 ≥ 50× faster)
+//   - coalesced burst: does a concurrent adjacent-population burst of
+//     exact layered queries, coalesced into warm-start sweeps by the
+//     batcher, beat the same solves done independently and cold?
+//   - sustained: closed-loop throughput and latency under a mixed
+//     request stream whose populations and SLA goals are derived from
+//     fixed-seed trade-simulator runs (target: ≥ 12 predictions/sec,
+//     the million-predictions/day regime, with p99 reported)
+//   - overload: at ≥ 10× the cold-build capacity the service must
+//     shed with 429s while accepted-request p99 stays within 2× of
+//     uncontended (backpressure, not collapse)
+//
+// With -smoke -serve-bin PATH it instead exercises a real predserve
+// binary end to end: spawn, wait for the address file, issue cold and
+// warm predictions, scrape /metrics to confirm the cache-hit counter
+// advanced, then SIGTERM and require a clean drain. CI runs this.
+//
+// Usage:
+//
+//	predload [-out BENCH_serve.json] [-seconds 8] [-quick]
+//	predload -smoke -serve-bin ./predserve
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"flag"
+
+	"perfpred/internal/lqn"
+	"perfpred/internal/serve"
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
+)
+
+type coldKey struct {
+	Arch          string  `json:"arch"`
+	BuyPct        float64 `json:"buy_pct"`
+	BuildMS       float64 `json:"build_ms"`
+	ColdLatencyMS float64 `json:"cold_latency_ms"`
+}
+
+type coldVsWarm struct {
+	Keys            []coldKey `json:"keys"`
+	MeanColdBuildMS float64   `json:"mean_cold_build_ms"`
+	WarmRequests    int       `json:"warm_requests"`
+	WarmP50Micros   float64   `json:"warm_p50_us"`
+	WarmP99Micros   float64   `json:"warm_p99_us"`
+	// ColdOverWarmP99 is mean cold build over warm p99 — the amortised
+	// win of the model cache.
+	ColdOverWarmP99 float64 `json:"cold_build_over_warm_p99"`
+	Meets50x        bool    `json:"meets_50x"`
+}
+
+type coalescedBurst struct {
+	Arch         string `json:"arch"`
+	Burst        int    `json:"burst"`
+	PopulationLo int    `json:"population_lo"`
+	PopulationHi int    `json:"population_hi"`
+	// CoalescedSweepWallMS is the batcher's work for the burst — one
+	// model resolution, one warm-started solver, populations ascending
+	// — measured at the solver layer both paths share.
+	CoalescedSweepWallMS float64 `json:"coalesced_sweep_wall_ms"`
+	// IndependentColdWallMS solves the identical populations one by
+	// one, each on a freshly built model and cold solver — what N
+	// uncoalesced requests would each pay.
+	IndependentColdWallMS float64 `json:"independent_cold_wall_ms"`
+	Speedup               float64 `json:"speedup"`
+	BeatsIndependent      bool    `json:"beats_independent"`
+	// ServedBurstWallMS is the same burst end to end over HTTP against
+	// a one-worker batcher, for context: loopback transport (~100µs a
+	// request) dominates the µs-scale solves at this model size.
+	ServedBurstWallMS float64 `json:"served_burst_wall_ms"`
+}
+
+type sustained struct {
+	Clients       int     `json:"clients"`
+	Seconds       float64 `json:"seconds"`
+	Requests      int     `json:"requests"`
+	PerSec        float64 `json:"throughput_per_sec"`
+	P50Micros     float64 `json:"p50_us"`
+	P99Micros     float64 `json:"p99_us"`
+	Errors        int     `json:"errors"`
+	MeetsMillionD bool    `json:"meets_million_per_day"`
+}
+
+type overload struct {
+	// MeanBuildMS is this phase's cold-build cost (short calibration:
+	// the phase stresses admission control, not build depth).
+	MeanBuildMS float64 `json:"mean_build_ms"`
+	// OfferedPerSec is the achieved cold-key request rate; CapacityPerSec
+	// is what one build worker can absorb (1000 / mean build ms).
+	OfferedPerSec   float64 `json:"offered_per_sec"`
+	CapacityPerSec  float64 `json:"capacity_per_sec"`
+	OfferedMultiple float64 `json:"offered_multiple"`
+	Accepted        int     `json:"accepted"`
+	Shed429         int     `json:"shed_429"`
+	UncontendedP99u float64 `json:"uncontended_p99_us"`
+	OverloadedP99u  float64 `json:"overloaded_accepted_p99_us"`
+	// CoreBound is set when GOMAXPROCS=1 and the 2× comparison failed:
+	// a CPU-bound build must timeshare the only core with every
+	// accepted handler, so contended latency there measures the
+	// machine, not the admission controller (the race-tier unit test,
+	// whose build workers wait instead of compute, enforces the
+	// behavioural criterion). Like simbench's shard scaling, the
+	// comparison is skipped rather than failed on one core.
+	CoreBound bool `json:"core_bound,omitempty"`
+	Within2x  bool `json:"accepted_p99_within_2x"`
+}
+
+type snapshot struct {
+	Note        string         `json:"note"`
+	Cores       int            `json:"cores"`
+	GoMaxProcs  int            `json:"go_max_procs"`
+	ColdVsWarm  coldVsWarm     `json:"cold_vs_warm"`
+	Coalesced   coalescedBurst `json:"coalesced_burst"`
+	Sustained   sustained      `json:"sustained"`
+	Overload    overload       `json:"overload"`
+	AllPass     bool           `json:"all_pass"`
+	FailReasons []string       `json:"fail_reasons,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_serve.json", "snapshot path (- for stdout)")
+	seconds := flag.Float64("seconds", 8, "sustained-phase duration")
+	quick := flag.Bool("quick", false, "short phases for CI smoke runs")
+	smoke := flag.Bool("smoke", false, "end-to-end smoke against a real predserve binary")
+	serveBin := flag.String("serve-bin", "", "path to the predserve binary (smoke mode)")
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*serveBin); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "predload: smoke OK")
+		return
+	}
+	if *quick && *seconds > 2 {
+		*seconds = 2
+	}
+
+	snap := snapshot{
+		Note: "Prediction-service load test, generated by cmd/predload against internal/serve " +
+			"over HTTP loopback. Cold builds include the fixed-seed percentile calibration a " +
+			"production build pays; all latencies are client-observed.",
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	snap.ColdVsWarm = runColdVsWarm()
+	snap.Coalesced = runCoalesced(*quick)
+	snap.Sustained = runSustained(*seconds)
+	snap.Overload = runOverload()
+
+	if !snap.ColdVsWarm.Meets50x {
+		snap.FailReasons = append(snap.FailReasons, fmt.Sprintf(
+			"warm p99 only %.1fx faster than cold build, want >= 50x", snap.ColdVsWarm.ColdOverWarmP99))
+	}
+	if !snap.Coalesced.BeatsIndependent {
+		snap.FailReasons = append(snap.FailReasons, "coalesced burst did not beat independent cold solves")
+	}
+	if !snap.Sustained.MeetsMillionD {
+		snap.FailReasons = append(snap.FailReasons, fmt.Sprintf(
+			"sustained %.1f predictions/sec under 12/sec (million/day)", snap.Sustained.PerSec))
+	}
+	if !snap.Overload.Within2x && !snap.Overload.CoreBound {
+		snap.FailReasons = append(snap.FailReasons, "accepted p99 under overload exceeded 2x uncontended")
+	}
+	snap.AllPass = len(snap.FailReasons) == 0
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	} else {
+		fmt.Fprintf(os.Stderr, "predload: wrote %s\n", *out)
+	}
+	if !snap.AllPass {
+		fatal(fmt.Errorf("acceptance failed: %s", strings.Join(snap.FailReasons, "; ")))
+	}
+}
+
+func serviceConfig() serve.Config {
+	return serve.Config{
+		Archs:   workload.CaseStudyServers(),
+		DB:      workload.CaseStudyDB(),
+		Demands: workload.CaseStudyDemands(),
+		// Production defaults: percentile scale calibrated per key from
+		// a fixed-seed simulator run, so cold builds carry their honest
+		// cost.
+		CalibrationSimSeconds: 40,
+	}
+}
+
+func startService(mutate func(*serve.Config)) (*serve.Service, *httptest.Server, error) {
+	cfg := serviceConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	svc, err := serve.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := httptest.NewServer(svc.Handler())
+	return svc, srv, nil
+}
+
+type predictResult struct {
+	ResponseTimeS float64 `json:"response_time_s"`
+	Cold          bool    `json:"cold"`
+	BuildMS       float64 `json:"build_ms"`
+}
+
+func getPredict(client *http.Client, url string) (predictResult, int, error) {
+	var pr predictResult
+	resp, err := client.Get(url)
+	if err != nil {
+		return pr, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			return pr, resp.StatusCode, err
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return pr, resp.StatusCode, nil
+}
+
+func percentileOf(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// runColdVsWarm builds six (architecture, mix) keys cold, then hammers
+// the warm cache from one closed-loop client.
+func runColdVsWarm() coldVsWarm {
+	fmt.Fprintln(os.Stderr, "predload: cold-vs-warm phase")
+	svc, srv, err := startService(nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() { srv.Close(); svc.Close() }()
+	client := srv.Client()
+
+	cw := coldVsWarm{}
+	var sumBuild float64
+	for _, k := range []struct {
+		arch   string
+		buyPct float64
+	}{
+		{"AppServS", 0}, {"AppServF", 0}, {"AppServVF", 0},
+		{"AppServS", 10}, {"AppServF", 10}, {"AppServVF", 25},
+	} {
+		url := fmt.Sprintf("%s/v1/predict?arch=%s&clients=500&buy_pct=%v&percentile=0.9", srv.URL, k.arch, k.buyPct)
+		start := time.Now()
+		pr, code, err := getPredict(client, url)
+		lat := time.Since(start)
+		if err != nil || code != http.StatusOK {
+			fatal(fmt.Errorf("cold predict %s: code %d err %v", url, code, err))
+		}
+		if !pr.Cold {
+			fatal(fmt.Errorf("first request for %s/%v%% was not cold", k.arch, k.buyPct))
+		}
+		cw.Keys = append(cw.Keys, coldKey{
+			Arch: k.arch, BuyPct: k.buyPct,
+			BuildMS:       pr.BuildMS,
+			ColdLatencyMS: float64(lat) / float64(time.Millisecond),
+		})
+		sumBuild += pr.BuildMS
+	}
+	cw.MeanColdBuildMS = sumBuild / float64(len(cw.Keys))
+
+	cw.WarmRequests = 2000
+	lats := make([]time.Duration, 0, cw.WarmRequests)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < cw.WarmRequests; i++ {
+		k := cw.Keys[rng.Intn(len(cw.Keys))]
+		url := fmt.Sprintf("%s/v1/predict?arch=%s&clients=%d&buy_pct=%v", srv.URL, k.Arch, 100+rng.Intn(2000), k.BuyPct)
+		start := time.Now()
+		pr, code, err := getPredict(client, url)
+		if err != nil || code != http.StatusOK {
+			fatal(fmt.Errorf("warm predict: code %d err %v", code, err))
+		}
+		if pr.Cold {
+			fatal(fmt.Errorf("warm request reported cold for %s", k.Arch))
+		}
+		lats = append(lats, time.Since(start))
+	}
+	cw.WarmP50Micros = micros(percentileOf(lats, 0.50))
+	cw.WarmP99Micros = micros(percentileOf(lats, 0.99))
+	cw.ColdOverWarmP99 = cw.MeanColdBuildMS * 1000 / cw.WarmP99Micros
+	cw.Meets50x = cw.ColdOverWarmP99 >= 50
+	return cw
+}
+
+// runCoalesced fires a concurrent adjacent-population burst of exact
+// layered queries at a one-worker batcher and compares the wall clock
+// against solving the same populations independently and cold.
+func runCoalesced(quick bool) coalescedBurst {
+	fmt.Fprintln(os.Stderr, "predload: coalesced-burst phase")
+	cb := coalescedBurst{Arch: "AppServF", Burst: 32, PopulationLo: 1000}
+	if quick {
+		cb.Burst = 16
+	}
+	cb.PopulationHi = cb.PopulationLo + cb.Burst - 1
+
+	svc, srv, err := startService(func(c *serve.Config) {
+		c.SolveWorkers = 1 // a single worker makes the coalescing visible
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() { srv.Close(); svc.Close() }()
+	client := srv.Client()
+
+	// Prime the worker's model state so the burst measures coalescing,
+	// not the one-off model construction both sides pay.
+	if _, code, err := getPredict(client, fmt.Sprintf("%s/v1/predict?arch=%s&clients=%d&method=lqn", srv.URL, cb.Arch, cb.PopulationLo)); err != nil || code != http.StatusOK {
+		fatal(fmt.Errorf("prime lqn state: code %d err %v", code, err))
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	errs := make(chan error, cb.Burst)
+	for i := 0; i < cb.Burst; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/v1/predict?arch=%s&clients=%d&method=lqn", srv.URL, cb.Arch, n)
+			if _, code, err := getPredict(client, url); err != nil || code != http.StatusOK {
+				errs <- fmt.Errorf("burst n=%d: code %d err %v", n, code, err)
+			}
+		}(cb.PopulationLo + i)
+	}
+	wg.Wait()
+	cb.ServedBurstWallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	close(errs)
+	for err := range errs {
+		fatal(err)
+	}
+
+	// The coalescing comparison itself runs at the solver layer the
+	// two paths share, so transport cost (identical either way in a
+	// served setting) doesn't drown the µs-scale solves. The sweep is
+	// exactly what a batch worker does with the burst: one model, one
+	// warm-started solver, populations ascending. Best-of-3 each way
+	// to keep a single scheduler hiccup from deciding the verdict.
+	db, demands := workload.CaseStudyDB(), workload.CaseStudyDemands()
+	arch := workload.AppServF()
+	sweepWall := time.Duration(1 << 62)
+	for rep := 0; rep < 3; rep++ {
+		start = time.Now()
+		model, err := lqn.NewTradeModel(arch, db, demands, workload.TypicalWorkload(1))
+		if err != nil {
+			fatal(err)
+		}
+		solver := lqn.NewSolver()
+		solver.WarmStart = true
+		for i := 0; i < cb.Burst; i++ {
+			for ci, p := range workload.TypicalWorkload(cb.PopulationLo + i) {
+				model.Classes[ci].Population = p.Clients
+			}
+			if _, err := solver.Solve(model, lqn.Options{}); err != nil {
+				fatal(err)
+			}
+		}
+		if w := time.Since(start); w < sweepWall {
+			sweepWall = w
+		}
+	}
+	coldWall := time.Duration(1 << 62)
+	for rep := 0; rep < 3; rep++ {
+		start = time.Now()
+		for i := 0; i < cb.Burst; i++ {
+			n := cb.PopulationLo + i
+			model, err := lqn.NewTradeModel(arch, db, demands, workload.TypicalWorkload(n))
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := lqn.NewSolver().Solve(model, lqn.Options{}); err != nil {
+				fatal(err)
+			}
+		}
+		if w := time.Since(start); w < coldWall {
+			coldWall = w
+		}
+	}
+	cb.CoalescedSweepWallMS = float64(sweepWall) / float64(time.Millisecond)
+	cb.IndependentColdWallMS = float64(coldWall) / float64(time.Millisecond)
+	cb.Speedup = cb.IndependentColdWallMS / cb.CoalescedSweepWallMS
+	cb.BeatsIndependent = cb.Speedup > 1
+	return cb
+}
+
+// streamSpec holds the trade-simulator-derived shape of one
+// architecture's request stream: populations around the simulated
+// operating point and SLA goals around the simulated mean response
+// time.
+type streamSpec struct {
+	arch   string
+	knee   int     // simulated operating-point population
+	goalRT float64 // capacity-query SLA goal, from the sim's mean RT
+}
+
+// deriveStreams runs a short fixed-seed trade simulation per
+// architecture at the standard buy mix and shapes the load phases'
+// request streams from what the simulator measured — the service is
+// asked about the operating points the simulator actually visited.
+func deriveStreams() []streamSpec {
+	var specs []streamSpec
+	for _, arch := range workload.CaseStudyServers() {
+		knee := int(arch.MaxThroughputTypical * (workload.ThinkTimeMean + 1) * 0.8)
+		res, err := trade.Run(trade.Config{
+			Server:   arch,
+			DB:       workload.CaseStudyDB(),
+			Demands:  workload.CaseStudyDemands(),
+			Load:     workload.MixedWorkload(knee, workload.StandardBuyFraction),
+			Seed:     7,
+			WarmUp:   2,
+			Duration: 10,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		specs = append(specs, streamSpec{arch: arch.Name, knee: knee, goalRT: 1.5 * res.MeanRT})
+	}
+	return specs
+}
+
+// runSustained drives a closed-loop mixed request stream and reports
+// throughput and latency percentiles.
+func runSustained(seconds float64) sustained {
+	fmt.Fprintln(os.Stderr, "predload: sustained phase")
+	svc, srv, err := startService(nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() { srv.Close(); svc.Close() }()
+	specs := deriveStreams()
+
+	st := sustained{Clients: 8, Seconds: seconds}
+	deadline := time.Now().Add(time.Duration(seconds * float64(time.Second)))
+	var mu sync.Mutex
+	var all []time.Duration
+	var errCount atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < st.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := srv.Client()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			var lats []time.Duration
+			for time.Now().Before(deadline) {
+				spec := specs[rng.Intn(len(specs))]
+				n := spec.knee/2 + rng.Intn(spec.knee)
+				var url string
+				switch r := rng.Float64(); {
+				case r < 0.60: // mean prediction, mixed keys
+					url = fmt.Sprintf("%s/v1/predict?arch=%s&clients=%d&buy_pct=%d", srv.URL, spec.arch, n, 5*rng.Intn(3))
+				case r < 0.75: // percentile prediction
+					url = fmt.Sprintf("%s/v1/predict?arch=%s&clients=%d&percentile=0.9", srv.URL, spec.arch, n)
+				case r < 0.90: // capacity under the sim-derived goal
+					url = fmt.Sprintf("%s/v1/capacity?arch=%s&goal_rt_s=%.4f", srv.URL, spec.arch, spec.goalRT)
+				default: // exact layered solve through the batcher
+					url = fmt.Sprintf("%s/v1/predict?arch=%s&clients=%d&method=lqn", srv.URL, spec.arch, n)
+				}
+				start := time.Now()
+				_, code, err := getPredict(client, url)
+				if err != nil || code != http.StatusOK {
+					errCount.Add(1)
+					continue
+				}
+				lats = append(lats, time.Since(start))
+			}
+			mu.Lock()
+			all = append(all, lats...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	st.Requests = len(all)
+	st.PerSec = float64(len(all)) / seconds
+	st.P50Micros = micros(percentileOf(all, 0.50))
+	st.P99Micros = micros(percentileOf(all, 0.99))
+	st.Errors = int(errCount.Load())
+	st.MeetsMillionD = st.PerSec >= 12
+	return st
+}
+
+// runOverload offers cold-key builds at ≥10× what the single build
+// worker can absorb while a warm client keeps measuring, then checks
+// the service shed with 429s without hurting accepted latency.
+func runOverload() overload {
+	fmt.Fprintln(os.Stderr, "predload: overload phase")
+	svc, srv, err := startService(func(c *serve.Config) {
+		c.BuildWorkers = 1
+		c.MaxQueuedBuilds = 1
+		// A small cache keeps cold misses coming for the whole phase
+		// instead of the flood warming every key it will ever ask for.
+		c.CacheCapacity = 64
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() { srv.Close(); svc.Close() }()
+	client := srv.Client()
+
+	ov := overload{}
+	// Probe this configuration's build cost on a few cold keys.
+	var buildSum float64
+	for i, arch := range []string{"AppServF", "AppServS", "AppServVF"} {
+		pr, code, err := getPredict(client, fmt.Sprintf("%s/v1/predict?arch=%s&clients=500&buy_pct=%d", srv.URL, arch, 30+i))
+		if err != nil || code != http.StatusOK || !pr.Cold {
+			fatal(fmt.Errorf("overload build probe: code %d cold=%v err %v", code, pr.Cold, err))
+		}
+		buildSum += pr.BuildMS
+	}
+	ov.MeanBuildMS = buildSum / 3
+	ov.CapacityPerSec = 1000 / ov.MeanBuildMS
+
+	warmURL := srv.URL + "/v1/predict?arch=AppServF&clients=500"
+	if _, code, err := getPredict(client, warmURL); err != nil || code != http.StatusOK {
+		fatal(fmt.Errorf("overload warm-up: code %d err %v", code, err))
+	}
+	warmP99 := func(n int) time.Duration {
+		lats := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			if _, code, err := getPredict(client, warmURL); err != nil || code != http.StatusOK {
+				fatal(fmt.Errorf("overload warm probe: code %d err %v", code, err))
+			}
+			lats = append(lats, time.Since(start))
+		}
+		return percentileOf(lats, 0.99)
+	}
+	uncontended := warmP99(300)
+
+	// Flood: distinct cold mixes from enough closed-loop flooders to
+	// offer well past 10× the single worker's build capacity.
+	const flooders = 64
+	var accepted, shed atomic.Int32
+	var offered atomic.Int64
+	stop := make(chan struct{})
+	var floodWG sync.WaitGroup
+	floodStart := time.Now()
+	for g := 0; g < flooders; g++ {
+		floodWG.Add(1)
+		go func(g int) {
+			defer floodWG.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				offered.Add(1)
+				url := fmt.Sprintf("%s/v1/predict?arch=AppServS&clients=100&buy_pct=%d.%d",
+					srv.URL, rng.Intn(90), rng.Intn(10))
+				_, code, err := getPredict(client, url)
+				switch {
+				case err != nil:
+					fatal(fmt.Errorf("flood: %v", err))
+				case code == http.StatusTooManyRequests:
+					shed.Add(1)
+				case code == http.StatusOK:
+					accepted.Add(1)
+				}
+			}
+		}(g)
+	}
+	contended := warmP99(300)
+	floodWall := time.Since(floodStart).Seconds()
+	close(stop)
+	floodWG.Wait()
+
+	ov.OfferedPerSec = float64(offered.Load()) / floodWall
+	ov.OfferedMultiple = ov.OfferedPerSec / ov.CapacityPerSec
+	ov.Accepted = int(accepted.Load())
+	ov.Shed429 = int(shed.Load())
+	ov.UncontendedP99u = micros(uncontended)
+	ov.OverloadedP99u = micros(contended)
+	ov.Within2x = contended <= 2*uncontended
+	ov.CoreBound = !ov.Within2x && runtime.GOMAXPROCS(0) == 1
+	if ov.Shed429 == 0 {
+		fatal(fmt.Errorf("overload phase shed nothing: no 429s"))
+	}
+	return ov
+}
+
+// runSmoke exercises a real predserve binary end to end.
+func runSmoke(serveBin string) error {
+	if serveBin == "" {
+		return fmt.Errorf("smoke mode needs -serve-bin")
+	}
+	dir, err := os.MkdirTemp("", "predload-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	addrFile := filepath.Join(dir, "addr")
+
+	cmd := exec.Command(serveBin, "-addr", "127.0.0.1:0", "-addr-file", addrFile, "-calib-seconds", "10")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting %s: %w", serveBin, err)
+	}
+	defer func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	var addr string
+	for i := 0; i < 100; i++ {
+		if buf, err := os.ReadFile(addrFile); err == nil && len(buf) > 0 {
+			addr = strings.TrimSpace(string(buf))
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if addr == "" {
+		return fmt.Errorf("predserve never wrote %s", addrFile)
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+
+	predictURL := base + "/v1/predict?arch=AppServF&clients=500"
+	pr, code, err := getPredict(client, predictURL)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("cold predict: code %d err %v", code, err)
+	}
+	if !pr.Cold || pr.ResponseTimeS <= 0 {
+		return fmt.Errorf("cold predict: cold=%v rt=%v", pr.Cold, pr.ResponseTimeS)
+	}
+	hits0, err := scrapeCounter(client, base+"/metrics", "serve_cache_hits")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		pr, code, err = getPredict(client, predictURL)
+		if err != nil || code != http.StatusOK || pr.Cold {
+			return fmt.Errorf("warm predict %d: code %d cold=%v err %v", i, code, pr.Cold, err)
+		}
+	}
+	hits1, err := scrapeCounter(client, base+"/metrics", "serve_cache_hits")
+	if err != nil {
+		return err
+	}
+	if hits1 < hits0+3 {
+		return fmt.Errorf("cache-hit counter did not advance: %d -> %d", hits0, hits1)
+	}
+
+	// Graceful drain: SIGTERM must produce a clean exit.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("predserve exited dirty after SIGTERM: %w", err)
+		}
+	case <-time.After(20 * time.Second):
+		return fmt.Errorf("predserve did not drain within 20s of SIGTERM")
+	}
+	return nil
+}
+
+// scrapeCounter pulls one `name value` line from the /metrics dump.
+func scrapeCounter(client *http.Client, url, name string) (int64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, fmt.Errorf("scraping %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, ln := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(ln)
+		if len(fields) == 2 && fields[0] == name {
+			return strconv.ParseInt(fields[1], 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("metric %s not found in %s dump", name, url)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "predload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+// Command predserve runs the long-lived prediction service: the
+// paper's predictor stack (hybrid, layered-queuing, resource-manager
+// allocation) behind a concurrent HTTP/JSON API with per-(architecture,
+// mix) model caching, request-coalescing batch solves and admission
+// control. See internal/serve for the serving architecture.
+//
+// Endpoints:
+//
+//	GET|POST /v1/predict   response-time prediction (method=hybrid|lqn)
+//	GET|POST /v1/capacity  max clients under an SLA goal
+//	POST     /v1/allocate  Algorithm 1 allocation plan
+//	GET      /healthz      liveness
+//	GET      /metrics      obs plain-text metric dump
+//	GET      /debug/...    expvar + pprof
+//
+// On SIGTERM/SIGINT predserve drains: the HTTP server stops accepting
+// and finishes in-flight requests, the batch workers answer everything
+// already queued, and a final obs snapshot is flushed to stderr so the
+// run leaves evidence even without a scraper.
+//
+// Usage:
+//
+//	predserve [-addr :8089] [-addr-file path] [-cache-cap 256]
+//	          [-laplace-b 0] [-deadline 5s] [-report snapshot.json]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"perfpred/internal/instrument"
+	"perfpred/internal/obs"
+	"perfpred/internal/serve"
+	"perfpred/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8089", "listen address (use 127.0.0.1:0 with -addr-file for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	cacheCap := flag.Int("cache-cap", 256, "model cache capacity in (architecture, mix) entries; 0 = unbounded")
+	points := flag.Int("points", 0, "hybrid pseudo data points per equation (0 = paper's 4)")
+	laplaceB := flag.Float64("laplace-b", 0, "fixed Laplace percentile scale in seconds; 0 calibrates per key from a fixed-seed simulator run")
+	calibSeconds := flag.Float64("calib-seconds", 40, "simulated seconds per percentile calibration run")
+	calibSeed := flag.Int64("calib-seed", 1, "seed for the calibration runs")
+	buildWorkers := flag.Int("build-workers", 2, "concurrent cold model builds")
+	maxQueuedBuilds := flag.Int("max-queued-builds", 8, "cold builds allowed to wait beyond the workers before 429")
+	solveWorkers := flag.Int("solve-workers", 0, "batch solver workers (0 = GOMAXPROCS)")
+	maxQueuedSolves := flag.Int("max-queued-solves", 256, "batch solver queue bound")
+	maxBatch := flag.Int("max-batch", 64, "max solves coalesced into one warm-start sweep")
+	deadline := flag.Duration("deadline", 5*time.Second, "default per-request deadline")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	report := flag.String("report", "", "write a final obs snapshot (JSON) here on shutdown")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	instrument.EnableAll(reg)
+
+	svc, err := serve.New(serve.Config{
+		Archs:                 workload.CaseStudyServers(),
+		DB:                    workload.CaseStudyDB(),
+		Demands:               workload.CaseStudyDemands(),
+		PointsPerEquation:     *points,
+		CacheCapacity:         *cacheCap,
+		LaplaceB:              *laplaceB,
+		CalibrationSeed:       *calibSeed,
+		CalibrationSimSeconds: *calibSeconds,
+		BuildWorkers:          *buildWorkers,
+		MaxQueuedBuilds:       *maxQueuedBuilds,
+		SolveWorkers:          *solveWorkers,
+		MaxQueuedSolves:       *maxQueuedSolves,
+		MaxBatch:              *maxBatch,
+		DefaultDeadline:       *deadline,
+		RetryAfter:            *retryAfter,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", svc.Handler())
+	mux.Handle("/healthz", svc.Handler())
+	mux.Handle("/metrics", obs.Handler(reg))
+	mux.Handle("/debug/", obs.Handler(reg))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "predserve: listening on %s\n", bound)
+
+	srv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "predserve: %v, draining\n", s)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	// Drain order matters: stop accepting and finish in-flight HTTP
+	// requests first, then stop the batch workers (close answers
+	// everything they had queued), then flush the evidence.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "predserve: shutdown: %v\n", err)
+	}
+	svc.Close()
+
+	fmt.Fprintln(os.Stderr, "predserve: final metrics snapshot:")
+	_ = reg.Snapshot().WriteText(os.Stderr)
+	if *report != "" {
+		if err := obs.WriteReport(*report, reg); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "predserve:", err)
+	os.Exit(1)
+}

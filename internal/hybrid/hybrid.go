@@ -111,21 +111,62 @@ func Build(cfg Config, servers []workload.ServerArch) (*Model, error) {
 }
 
 func buildServer(cfg Config, arch workload.ServerArch) (*hist.ServerModel, int, error) {
+	return buildServerMix(cfg, arch, 0)
+}
+
+// BuildServerMix builds one architecture's hybrid server model under a
+// fixed buy mix: the layered model is swept over *mixed* populations
+// (buyFrac buy clients, the rest browse) instead of the typical
+// all-browse workload, and the resulting pseudo data calibrates a
+// historical model whose predictions are mean response times under
+// that mix. buyFrac 0 reproduces Build's per-architecture models
+// exactly. This is the per-(architecture, mix) build the long-lived
+// prediction service caches; it returns the calibrated model and the
+// number of layered-solver evaluations the start-up cost went on.
+func BuildServerMix(cfg Config, arch workload.ServerArch, buyFrac float64) (*hist.ServerModel, int, error) {
+	cfg = cfg.withDefaults()
+	if cfg.PointsPerEquation < 2 {
+		return nil, 0, errors.New("hybrid: need at least 2 points per equation")
+	}
+	if buyFrac < 0 || buyFrac > 1 {
+		return nil, 0, fmt.Errorf("hybrid: buy fraction %v outside [0,1]", buyFrac)
+	}
+	sm, evals, err := buildServerMix(cfg, arch, buyFrac)
+	if err != nil {
+		return nil, evals, fmt.Errorf("hybrid: building %s (buy %.1f%%): %w", arch.Name, 100*buyFrac, err)
+	}
+	if mm := metrics.Load(); mm != nil {
+		mm.builds.Inc()
+		mm.evaluations.Add(uint64(evals))
+	}
+	return sm, evals, nil
+}
+
+func buildServerMix(cfg Config, arch workload.ServerArch, buyFrac float64) (*hist.ServerModel, int, error) {
 	mm := metrics.Load()
 	evals := 0
-	// The whole pseudo-data sweep solves one model at different browse
-	// populations: build it once, mutate the population in place, and
+	// The whole pseudo-data sweep solves one model at different client
+	// populations: build it once, mutate the populations in place, and
 	// warm-start each solve from the last — this is the start-up delay
-	// §8.5 charges the hybrid method for.
-	model, err := lqn.NewTradeModel(arch, cfg.DB, cfg.Demands, workload.TypicalWorkload(1))
+	// §8.5 charges the hybrid method for. The all-browse path keeps the
+	// single-class typical workload Build has always used, so its
+	// models (and the experiment goldens behind them) are unchanged.
+	makeLoad := func(n int) workload.Workload {
+		if buyFrac <= 0 {
+			return workload.TypicalWorkload(n)
+		}
+		return workload.MixedWorkload(n, buyFrac)
+	}
+	model, err := lqn.NewTradeModel(arch, cfg.DB, cfg.Demands, makeLoad(1))
 	if err != nil {
 		return nil, 0, err
 	}
-	browse := model.Classes[0]
 	solver := lqn.NewSolver()
 	solver.WarmStart = true
 	solveTypical := func(n int) (*lqn.Result, error) {
-		browse.Population = n
+		for i, p := range makeLoad(n) {
+			model.Classes[i].Population = p.Clients
+		}
 		return solver.Solve(model, cfg.LQN)
 	}
 	// Max throughput: solve far past the saturation the benchmark

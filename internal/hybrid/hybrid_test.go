@@ -200,3 +200,52 @@ func TestSpread(t *testing.T) {
 		t.Fatalf("spread count 1 = %v", one)
 	}
 }
+
+// TestBuildServerMixZeroMatchesBuild pins the serving cache's
+// compatibility contract: a buy fraction of 0 must produce exactly the
+// model Build produces for that architecture, parameter for parameter.
+func TestBuildServerMixZeroMatchesBuild(t *testing.T) {
+	arch := workload.AppServF()
+	m, err := Build(caseConfig(), []workload.ServerArch{arch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, evals, err := BuildServerMix(caseConfig(), arch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals != 4+4+2 {
+		t.Fatalf("evaluations = %d, want 10", evals)
+	}
+	want := m.Servers[arch.Name]
+	if sm.MaxThroughput != want.MaxThroughput || sm.M != want.M ||
+		sm.CL != want.CL || sm.LambdaL != want.LambdaL ||
+		sm.CU != want.CU || sm.LambdaU != want.LambdaU {
+		t.Fatalf("mix-0 model %+v differs from Build's %+v", sm, want)
+	}
+}
+
+// TestBuildServerMixHeavierMix checks that a buy-heavy mix calibrates
+// a model with lower capacity than all-browse: buy requests consume
+// more of every resource, so the layered pseudo data must push max
+// throughput down, exactly as the paper's figure 4 trend.
+func TestBuildServerMixHeavierMix(t *testing.T) {
+	arch := workload.AppServF()
+	browse, _, err := BuildServerMix(caseConfig(), arch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, _, err := BuildServerMix(caseConfig(), arch, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mixed.Validate(); err != nil {
+		t.Fatalf("mixed model invalid: %v", err)
+	}
+	if mixed.MaxThroughput >= browse.MaxThroughput {
+		t.Fatalf("30%% buy Xmax %v not below all-browse %v", mixed.MaxThroughput, browse.MaxThroughput)
+	}
+	if _, _, err := BuildServerMix(caseConfig(), arch, 1.5); err == nil {
+		t.Fatal("buy fraction > 1 should fail")
+	}
+}

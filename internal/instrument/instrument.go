@@ -9,6 +9,7 @@ import (
 	"perfpred/internal/lqn"
 	"perfpred/internal/obs"
 	"perfpred/internal/rm"
+	"perfpred/internal/serve"
 	"perfpred/internal/sessioncache"
 	"perfpred/internal/sim"
 	"perfpred/internal/trade"
@@ -24,4 +25,5 @@ func EnableAll(r *obs.Registry) {
 	sessioncache.EnableMetrics(r)
 	hybrid.EnableMetrics(r)
 	rm.EnableMetrics(r)
+	serve.EnableMetrics(r)
 }

@@ -1,6 +1,9 @@
 package parallel
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Memo is a concurrency-safe, singleflight-style memoisation table.
 // The first caller of Do for a key runs fn; concurrent callers of the
@@ -29,14 +32,32 @@ type flight[V any] struct {
 // first call. fn runs at most once per key at a time, and at most once
 // ever if it succeeds.
 func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	return m.DoCtx(context.Background(), key, fn)
+}
+
+// DoCtx is Do with a cancellable wait: a caller that joins an
+// in-progress flight stops waiting when ctx is done and returns
+// ctx.Err() with the zero value. The flight itself is *not* cancelled —
+// the leader runs fn to completion regardless of any waiter's context
+// (the computation is shared property, so one impatient caller must not
+// poison the slot for the others), and its result is memoised exactly
+// as with Do. A caller that becomes the leader likewise runs fn to
+// completion; fn may consult its own context internally if the
+// computation should observe deadlines.
+func (m *Memo[K, V]) DoCtx(ctx context.Context, key K, fn func() (V, error)) (V, error) {
 	m.mu.Lock()
 	if m.m == nil {
 		m.m = make(map[K]*flight[V])
 	}
 	if f, ok := m.m[key]; ok {
 		m.mu.Unlock()
-		<-f.done
-		return f.val, f.err
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err()
+		}
 	}
 	f := &flight[V]{done: make(chan struct{})}
 	m.m[key] = f
@@ -50,6 +71,26 @@ func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	}
 	close(f.done)
 	return f.val, f.err
+}
+
+// Forget drops the memoised value for key so the next Do recomputes
+// it. An in-progress flight is left alone — removing it would let a
+// second flight for the same key start while the first still runs,
+// which is exactly the stampede Memo exists to prevent; callers
+// evicting a key concurrently with its rebuild therefore cannot cause
+// duplicate work.
+func (m *Memo[K, V]) Forget(key K) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.m[key]
+	if !ok {
+		return
+	}
+	select {
+	case <-f.done:
+		delete(m.m, key)
+	default:
+	}
 }
 
 // Once memoises a single computed value: Memo with one key. It is the

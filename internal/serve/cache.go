@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"perfpred/internal/hist"
+	"perfpred/internal/hybrid"
+	"perfpred/internal/parallel"
+	"perfpred/internal/rtdist"
+	"perfpred/internal/sessioncache"
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
+)
+
+// modelKey identifies one cached predictor: an architecture under a
+// buy mix. The mix is quantised to 0.1% so float jitter in request
+// payloads cannot mint unbounded distinct keys.
+type modelKey struct {
+	arch        string
+	buyPctTenth int // buy percentage × 10, i.e. 125 = 12.5%
+}
+
+func makeKey(arch string, buyPct float64) modelKey {
+	return modelKey{arch: arch, buyPctTenth: int(buyPct*10 + 0.5)}
+}
+
+// buyFrac converts the quantised mix back to the fraction the builders
+// consume.
+func (k modelKey) buyFrac() float64 { return float64(k.buyPctTenth) / 1000 }
+
+// modelEntry is one cached per-(architecture, mix) predictor: the
+// hybrid-calibrated historical model, the Laplace scale its percentile
+// predictions use, and the cold-build cost it took to make.
+type modelEntry struct {
+	sm *hist.ServerModel
+	// laplaceB is the §7.1 post-saturation Laplace scale, either the
+	// configured constant or calibrated from a fixed-seed simulator run
+	// during the build.
+	laplaceB float64
+	// buildWall is the build's wall-clock cost (the §8.5 start-up
+	// delay this entry amortises across warm predictions).
+	buildWall time.Duration
+	// evals counts layered-solver runs spent on the build.
+	evals int
+}
+
+// modelCache is the stampede-proof per-(architecture, mix) model
+// store: a bounded sessioncache.LRU holds finished models, and a
+// parallel.Memo singleflight collapses a thundering herd of cold
+// requests for one key into exactly one build. Completed flights are
+// immediately forgotten so the LRU is the single source of truth —
+// after an eviction the next request misses and rebuilds, and during
+// a rebuild Forget's done-only semantics guarantee no duplicate build
+// can start.
+//
+// Builds are admission-controlled: at most workers builds run
+// concurrently, at most queued more may wait for a slot, and anything
+// beyond that is rejected with ErrOverloaded so a cold-key flood
+// degrades to fast 429s instead of a convoy of queued solves.
+type modelCache struct {
+	lru     *sessioncache.LRU[modelKey, *modelEntry]
+	flights parallel.Memo[modelKey, *modelEntry]
+
+	build func(modelKey) (*modelEntry, error)
+
+	sem     chan struct{}
+	queued  atomic.Int64
+	maxWait int64 // queued builds allowed beyond the worker slots
+}
+
+func newModelCache(capacity, workers, maxQueued int, build func(modelKey) (*modelEntry, error)) *modelCache {
+	c := &modelCache{
+		lru:     sessioncache.NewLRU[modelKey, *modelEntry](capacity),
+		build:   build,
+		sem:     make(chan struct{}, workers),
+		maxWait: int64(maxQueued),
+	}
+	c.lru.OnEvict(func(modelKey, *modelEntry) {
+		metrics.Load().cacheEvicts.Inc()
+	})
+	return c
+}
+
+// get returns the entry for key, building it on a miss. cold reports
+// whether this request had to wait on a build (shared or its own).
+// The returned error is ErrOverloaded when the build queue is full and
+// ctx.Err() when the caller's deadline expired while waiting.
+func (c *modelCache) get(ctx context.Context, key modelKey) (e *modelEntry, cold bool, err error) {
+	m := metrics.Load()
+	if e, ok := c.lru.Get(key); ok {
+		m.cacheHits.Inc()
+		return e, false, nil
+	}
+	m.cacheMisses.Inc()
+	e, err = c.flights.DoCtx(ctx, key, func() (*modelEntry, error) {
+		if err := c.acquireBuildSlot(ctx); err != nil {
+			return nil, err
+		}
+		defer func() { <-c.sem }()
+		start := time.Now()
+		entry, err := c.build(key)
+		if err != nil {
+			return nil, err
+		}
+		entry.buildWall = time.Since(start)
+		mm := metrics.Load()
+		mm.builds.Inc()
+		mm.buildSeconds.Observe(entry.buildWall.Seconds())
+		c.lru.Put(key, entry)
+		return entry, nil
+	})
+	if err != nil {
+		return nil, true, err
+	}
+	// The value now lives in the LRU; dropping the completed flight
+	// makes eviction → rebuild work (Forget leaves in-progress flights
+	// alone, so this is safe against concurrent rebuilds).
+	c.flights.Forget(key)
+	return e, true, nil
+}
+
+// acquireBuildSlot admits the flight leader to a build worker slot,
+// rejecting immediately when the queue is full and abandoning the wait
+// when the leader's own deadline expires.
+func (c *modelCache) acquireBuildSlot(ctx context.Context) error {
+	m := metrics.Load()
+	q := c.queued.Add(1)
+	m.buildQueueDepth.Set(q)
+	m.buildQueueHigh.Observe(q)
+	defer func() { m.buildQueueDepth.Set(c.queued.Add(-1)) }()
+	if q > int64(cap(c.sem))+c.maxWait {
+		m.rejectedOverload.Inc()
+		return ErrOverloaded
+	}
+	select {
+	case c.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// buildEntry is the Service's cold path: generate the hybrid model for
+// the key's (architecture, mix) from warm-started layered solves, then
+// fix the percentile scale — either the configured constant or a
+// calibration against a fixed-seed simulator run at a saturated
+// population under the same mix, the §7.1 procedure the offline suite
+// uses.
+func (s *Service) buildEntry(key modelKey) (*modelEntry, error) {
+	arch, ok := s.archs[key.arch]
+	if !ok {
+		return nil, &badRequestError{msg: "unknown architecture " + key.arch}
+	}
+	cfg := hybrid.Config{
+		DB:                s.cfg.DB,
+		Demands:           s.cfg.Demands,
+		PointsPerEquation: s.cfg.PointsPerEquation,
+		LQN:               s.cfg.LQN,
+	}
+	sm, evals, err := hybrid.BuildServerMix(cfg, arch, key.buyFrac())
+	if err != nil {
+		return nil, err
+	}
+	e := &modelEntry{sm: sm, laplaceB: s.cfg.LaplaceB, evals: evals}
+	if e.laplaceB == 0 {
+		b, err := s.calibrateScale(arch, key.buyFrac(), sm)
+		if err != nil {
+			return nil, err
+		}
+		e.laplaceB = b
+	}
+	return e, nil
+}
+
+// calibrateScale runs the simulator at ~1.4× the model's saturation
+// population under the key's mix and fits the Laplace scale to the
+// measured response-time samples around their mean. The seed and
+// window are fixed by configuration, so the same key always calibrates
+// the same scale — served numbers stay reproducible.
+func (s *Service) calibrateScale(arch workload.ServerArch, buyFrac float64, sm *hist.ServerModel) (float64, error) {
+	n := int(1.4 * sm.SaturationClients())
+	if n < 1 {
+		n = 1
+	}
+	load := workload.TypicalWorkload(n)
+	if buyFrac > 0 {
+		load = workload.MixedWorkload(n, buyFrac)
+	}
+	res, err := trade.Run(trade.Config{
+		Server:   arch,
+		DB:       s.cfg.DB,
+		Demands:  s.cfg.Demands,
+		Load:     load,
+		Seed:     s.cfg.CalibrationSeed,
+		WarmUp:   s.cfg.CalibrationSimSeconds / 4,
+		Duration: s.cfg.CalibrationSimSeconds,
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Merge per-class samples in sorted class order: CalibrateScale
+	// sums deviations in sample order, and float addition is not
+	// associative, so map-iteration order would perturb the last few
+	// digits of b between otherwise-identical builds.
+	names := make([]string, 0, len(res.PerClass))
+	for name := range res.PerClass {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var samples []float64
+	for _, name := range names {
+		samples = append(samples, res.PerClass[name].Samples...)
+	}
+	return rtdist.CalibrateScale(samples, res.MeanRT)
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"perfpred/internal/obs"
+)
+
+// serveMetrics instrument the prediction service's hot path: request
+// counts and latency per endpoint, model-cache traffic, cold-build
+// cost and queue pressure, batch-solver coalescing, and the admission
+// controller's rejection counters. They follow the repo convention:
+// registered once via EnableMetrics, nil-safe, zero-allocation on the
+// request path.
+type serveMetrics struct {
+	predictRequests  *obs.Counter
+	capacityRequests *obs.Counter
+	allocateRequests *obs.Counter
+
+	predictSeconds  *obs.Histogram
+	capacitySeconds *obs.Histogram
+	allocateSeconds *obs.Histogram
+
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	cacheEvicts *obs.Counter
+
+	builds          *obs.Counter
+	buildSeconds    *obs.Histogram
+	buildQueueDepth *obs.Gauge
+	buildQueueHigh  *obs.MaxGauge
+
+	batchSolves     *obs.Counter
+	batchSize       *obs.Histogram
+	solveQueueDepth *obs.Gauge
+	solveQueueHigh  *obs.MaxGauge
+
+	inflight         *obs.Gauge
+	rejectedOverload *obs.Counter
+	deadlineExpired  *obs.Counter
+	errors           *obs.Counter
+}
+
+var metrics atomic.Pointer[serveMetrics]
+
+// disabled is the no-op instance: every field is a nil obs handle, and
+// the obs types discard updates on nil receivers. Loading it instead of
+// a nil pointer lets hot-path call sites skip per-site nil checks.
+var disabled serveMetrics
+
+func init() { metrics.Store(&disabled) }
+
+// EnableMetrics registers the serving counters and histograms on r and
+// turns instrumentation on. A nil r disables instrumentation again.
+func EnableMetrics(r *obs.Registry) {
+	if r == nil {
+		metrics.Store(&disabled)
+		return
+	}
+	d := obs.DurationBuckets()
+	// Request latencies sit well under DurationBuckets' 100µs floor on
+	// a warm cache, so the serving histograms get a finer bottom end:
+	// 10µs up to 10s.
+	lat := []float64{1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10}
+	batch := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	metrics.Store(&serveMetrics{
+		predictRequests:  r.Counter("serve_predict_requests"),
+		capacityRequests: r.Counter("serve_capacity_requests"),
+		allocateRequests: r.Counter("serve_allocate_requests"),
+
+		predictSeconds:  r.Histogram("serve_predict_seconds", lat...),
+		capacitySeconds: r.Histogram("serve_capacity_seconds", lat...),
+		allocateSeconds: r.Histogram("serve_allocate_seconds", lat...),
+
+		cacheHits:   r.Counter("serve_cache_hits"),
+		cacheMisses: r.Counter("serve_cache_misses"),
+		cacheEvicts: r.Counter("serve_cache_evictions"),
+
+		builds:          r.Counter("serve_builds"),
+		buildSeconds:    r.Histogram("serve_build_seconds", d...),
+		buildQueueDepth: r.Gauge("serve_build_queue_depth"),
+		buildQueueHigh:  r.MaxGauge("serve_build_queue_high_water"),
+
+		batchSolves:     r.Counter("serve_batch_solves"),
+		batchSize:       r.Histogram("serve_batch_size", batch...),
+		solveQueueDepth: r.Gauge("serve_solve_queue_depth"),
+		solveQueueHigh:  r.MaxGauge("serve_solve_queue_high_water"),
+
+		inflight:         r.Gauge("serve_inflight_requests"),
+		rejectedOverload: r.Counter("serve_rejected_overload"),
+		deadlineExpired:  r.Counter("serve_deadline_expired"),
+		errors:           r.Counter("serve_errors"),
+	})
+}
