@@ -15,6 +15,11 @@
 #                 scaling sweep with its built-in determinism check,
 #                 and the 1M-client headline, snapshotted to
 #                 BENCH_sim.json (commit it).
+#   make bench-fleet — the in-loop resource-manager evidence: per-scorer
+#                 routing cost (allocation-free or the run aborts), the
+#                 Algorithm-1-vs-plan-oblivious A/B table, warm-started
+#                 replan latencies and the routed 1M-client headline,
+#                 snapshotted to BENCH_fleet.json (commit it).
 #   make metrics-smoke — observability tier: run two quick experiments
 #                 with -report and assert the snapshot parses and the
 #                 solver, simulator and cache counters actually moved.
@@ -29,7 +34,7 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-sim bench-serve serve-smoke metrics-smoke
+.PHONY: test race bench bench-sim bench-fleet bench-serve serve-smoke metrics-smoke
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -39,6 +44,7 @@ race:
 	$(GO) test -race -run 'TestSuiteConcurrent|TestSuiteParallelHybrid|TestFigure2ShapeHolds' ./internal/bench
 	$(GO) test -race -run 'TestEngine|TestStation|TestMeasureCurve' ./internal/sim ./internal/trade
 	$(GO) test -race -run 'TestCoordinator|TestSharded' ./internal/sim ./internal/trade
+	$(GO) test -race -run 'TestFleet' ./internal/fleet
 	$(GO) test -race -run 'TestConcurrentServing|TestColdStampedeBuildsOnce|TestOverloadShedsNotCollapses|TestGracefulShutdownDrains' ./internal/serve
 
 bench:
@@ -53,6 +59,9 @@ bench:
 bench-sim:
 	$(GO) test -run '^$$' -bench 'BenchmarkCalendar|BenchmarkShard' -benchmem ./internal/sim
 	$(GO) run ./cmd/simbench -out BENCH_sim.json
+
+bench-fleet:
+	$(GO) run ./cmd/fleetbench -out BENCH_fleet.json
 
 bench-serve:
 	$(GO) run ./cmd/predload -out BENCH_serve.json

@@ -1,0 +1,424 @@
+// Command fleetbench benchmarks the in-loop fleet resource manager:
+// the zero-allocation routing hot path, the warm-started replan cut at
+// window barriers, and the combined system at the 1,000,000-client
+// scale the sharded engine already reaches. It writes a
+// BENCH_fleet.json snapshot alongside BENCH_sim.json so the
+// repository's performance evidence covers the fleet layer too.
+//
+// The snapshot records routing microbenchmarks per scorer (ns and
+// allocations per decision — fleetbench aborts if any scorer
+// allocates), an A/B table comparing Algorithm 1 routing (the
+// "affinity" scorer, steered by in-loop replans) against the
+// plan-oblivious scorers under one seeded scenario, replan-latency
+// percentiles, and the 1M-client headline with routing and replanning
+// both live. Every fleet run is also a determinism check: fleetbench
+// fails loudly if a fixed-seed run diverges across shard counts.
+//
+// Usage:
+//
+//	fleetbench [-quick] [-shards 1,2,4] [-out BENCH_fleet.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"perfpred/internal/fleet"
+	"perfpred/internal/lqn"
+	"perfpred/internal/rm"
+	"perfpred/internal/workload"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// DecisionsPerSec is 1e9/NsPerOp — one op is one full routed
+	// request: scorer pick, admission and completion counters, with the
+	// barrier sync amortised in every 1024 decisions.
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+}
+
+// scorerRun is one row of the A/B table: the identical seeded fleet
+// scenario routed by a different scorer.
+type scorerRun struct {
+	Scorer          string  `json:"scorer"`
+	MeanRTMillis    float64 `json:"mean_rt_ms"`
+	Throughput      float64 `json:"throughput_req_per_sec"`
+	Decisions       uint64  `json:"decisions"`
+	RemotePct       float64 `json:"remote_pct"`
+	Replans         int     `json:"replans"`
+	AffinityChanges int     `json:"affinity_changes"`
+	WallSeconds     float64 `json:"wall_seconds"`
+}
+
+type abTable struct {
+	Pools          int         `json:"pools"`
+	Shards         int         `json:"shards"`
+	ClientsPerPool int         `json:"clients_per_pool"`
+	TotalClients   int         `json:"total_clients"`
+	SimSeconds     float64     `json:"sim_seconds"`
+	ReplanPeriod   float64     `json:"replan_period_s"`
+	Runs           []scorerRun `json:"runs"`
+}
+
+// replanStats summarises in-loop plan latencies (wall clock per
+// rm.Replanner.Replan call, warm-started LQN solves included).
+type replanStats struct {
+	Count     int     `json:"count"`
+	P50Millis float64 `json:"p50_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	MaxMillis float64 `json:"max_ms"`
+}
+
+type headline struct {
+	TotalClients        int         `json:"total_clients"`
+	Pools               int         `json:"pools"`
+	Shards              int         `json:"shards"`
+	Scorer              string      `json:"scorer"`
+	SimSeconds          float64     `json:"sim_seconds"`
+	Events              uint64      `json:"events"`
+	WallSeconds         float64     `json:"wall_seconds"`
+	EventsPerSec        float64     `json:"events_per_sec"`
+	Decisions           uint64      `json:"decisions"`
+	DecisionsPerWallSec float64     `json:"decisions_per_wall_sec"`
+	RemotePct           float64     `json:"remote_pct"`
+	MeanRTMillis        float64     `json:"mean_rt_ms"`
+	Throughput          float64     `json:"throughput_req_per_sec"`
+	Replans             replanStats `json:"replans"`
+	Under120s           bool        `json:"under_120s"`
+}
+
+type snapshot struct {
+	Note              string        `json:"note"`
+	Cores             int           `json:"cores"`
+	GoMaxProcs        int           `json:"go_max_procs"`
+	Routing           []benchResult `json:"routing"`
+	DeterminismShards []int         `json:"determinism_shards"`
+	Deterministic     bool          `json:"deterministic"`
+	ReplanLatency     replanStats   `json:"replan_latency"`
+	AB                abTable       `json:"ab"`
+	Headline          *headline     `json:"headline,omitempty"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "small scenario for CI smoke runs (skips the 1M-client headline)")
+	shards := flag.String("shards", "1,2,4", "comma-separated shard counts for the determinism check")
+	out := flag.String("out", "BENCH_fleet.json", "snapshot path (- for stdout)")
+	flag.Parse()
+
+	counts, err := parseShards(*shards)
+	if err != nil {
+		fatal(err)
+	}
+
+	snap := snapshot{
+		Note: "In-loop fleet resource manager benchmarks: per-scorer routing cost (one op = " +
+			"route + admission + completion, barrier sync amortised; any allocation aborts the " +
+			"run), an A/B table of Algorithm 1 affinity routing vs plan-oblivious scorers under " +
+			"one seeded scenario, warm-started replan latencies, and the 1M-client headline. " +
+			"Fixed-seed runs are asserted bit-identical across shard counts, not assumed.",
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	fmt.Fprintln(os.Stderr, "fleetbench: routing microbenchmarks")
+	for _, name := range fleet.ScorerNames() {
+		scorer, err := fleet.ScorerByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		snap.Routing = append(snap.Routing, record("Route64Pools/"+name, routingBench(scorer, 64, 3)))
+	}
+	snap.Routing = append(snap.Routing, record("Route625Pools/affinity", routingBench(fleet.ClassAffinity{}, 625, 3)))
+	for _, r := range snap.Routing {
+		if r.AllocsPerOp != 0 {
+			fatal(fmt.Errorf("%s allocates %d objects per decision, want 0", r.Name, r.AllocsPerOp))
+		}
+	}
+
+	snap.DeterminismShards = counts
+	runDeterminism(counts, *quick)
+	snap.Deterministic = true
+
+	snap.AB = runAB(*quick)
+	snap.ReplanLatency = measureReplanLatency(*quick)
+
+	if !*quick {
+		snap.Headline = runHeadline()
+	}
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fleetbench: wrote %s\n", *out)
+}
+
+// routingBench measures one fully routed request on a primed router:
+// the scorer's pick over npools pools, the admission and completion
+// counters, and the barrier sync amortised in once every 1024
+// decisions. Steady state must be allocation-free for every scorer.
+func routingBench(scorer fleet.Scorer, npools, nclasses int) func(b *testing.B) {
+	return func(b *testing.B) {
+		caps := make([]int, npools)
+		for i := range caps {
+			caps[i] = 50 + 10*(i%7)
+		}
+		r := fleet.NewRouter(scorer, caps, nclasses)
+		// Prime uneven per-pool state so the scorers scan realistic
+		// signals instead of all-zero arrays.
+		for p := 0; p < npools; p++ {
+			for k := 0; k < (p*13)%37; k++ {
+				r.Started(p, k%nclasses)
+			}
+			r.Completed(p, 0, 0.05+0.001*float64(p))
+			r.Started(p, 0)
+		}
+		r.Sync()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cls := i % nclasses
+			dst := r.Route(i%npools, cls)
+			r.Started(dst, cls)
+			r.Completed(dst, cls, 0.05)
+			if i&1023 == 1023 {
+				r.Sync()
+			}
+		}
+	}
+}
+
+// fleetLoad is the benchmark workload: the case-study mix collapsed to
+// a tight-goal buy class and a loose-goal browse class, per pool.
+func fleetLoad(clientsPerPool int) workload.Workload {
+	buy := clientsPerPool / 10
+	return workload.Workload{
+		{Class: workload.BuyClass(0.150), Clients: buy},
+		{Class: workload.BrowseClass(0.300), Clients: clientsPerPool - buy},
+	}
+}
+
+// newReplanner builds a fresh Algorithm 1 replanner over warm-started
+// LQN solves. Each run gets its own so retained solver state never
+// leaks across comparisons.
+func newReplanner() *rm.Replanner {
+	pred, err := rm.NewLQNPredictor(
+		[]workload.ServerArch{workload.AppServS(), workload.AppServF(), workload.AppServVF()},
+		workload.CaseStudyDB(), workload.CaseStudyDemands(),
+		workload.BrowseClass(0.300), lqn.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	return &rm.Replanner{Pred: pred}
+}
+
+func fleetCfg(pools, shards, clientsPerPool int, duration float64, scorer fleet.Scorer) fleet.Config {
+	return fleet.Config{
+		Pools:        pools,
+		Shards:       shards,
+		Archs:        []workload.ServerArch{workload.AppServS(), workload.AppServF(), workload.AppServVF()},
+		DB:           workload.CaseStudyDB(),
+		Demands:      workload.CaseStudyDemands(),
+		Load:         fleetLoad(clientsPerPool),
+		Seed:         17,
+		WarmUp:       duration / 6,
+		Duration:     duration,
+		MaxRTSamples: 64,
+		Scorer:       scorer,
+		ReplanPeriod: 2,
+		Replanner:    newReplanner(),
+		WarmupDelay:  0.5,
+		DrainDelay:   1,
+	}
+}
+
+// runDeterminism executes the identical seeded replanning fleet at
+// every shard count and aborts on any divergence.
+func runDeterminism(counts []int, quick bool) {
+	pools, clients, dur := 8, 200, 30.0
+	if quick {
+		pools, clients, dur = 4, 50, 10
+	}
+	var ref *fleet.Result
+	var refShards int
+	for _, nshards := range counts {
+		fmt.Fprintf(os.Stderr, "fleetbench: determinism check, shards=%d\n", nshards)
+		res, err := fleet.Run(fleetCfg(pools, nshards, clients, dur, fleet.ClassAffinity{}))
+		if err != nil {
+			fatal(err)
+		}
+		if ref == nil {
+			ref, refShards = res, nshards
+			continue
+		}
+		if res.Trade.EventsFired != ref.Trade.EventsFired || res.Trade.MeanRT != ref.Trade.MeanRT ||
+			res.Trade.Throughput != ref.Trade.Throughput || res.Decisions != ref.Decisions ||
+			res.Remote != ref.Remote || res.Replans != ref.Replans {
+			fatal(fmt.Errorf("determinism violated at %d shards vs %d: events/meanRT/X/decisions/remote/replans "+
+				"%d/%v/%v/%d/%d/%d vs %d/%v/%v/%d/%d/%d",
+				nshards, refShards,
+				res.Trade.EventsFired, res.Trade.MeanRT, res.Trade.Throughput, res.Decisions, res.Remote, res.Replans,
+				ref.Trade.EventsFired, ref.Trade.MeanRT, ref.Trade.Throughput, ref.Decisions, ref.Remote, ref.Replans))
+		}
+	}
+}
+
+// runAB routes the identical seeded scenario with every scorer — the
+// in-loop resource manager replanning throughout — so the table isolates
+// the routing policy as the only variable.
+func runAB(quick bool) abTable {
+	ab := abTable{Pools: 8, Shards: 4, ClientsPerPool: 500, SimSeconds: 60, ReplanPeriod: 2}
+	if quick {
+		ab.Pools, ab.ClientsPerPool, ab.SimSeconds = 4, 100, 10
+	}
+	ab.TotalClients = ab.Pools * ab.ClientsPerPool
+	for _, name := range fleet.ScorerNames() {
+		scorer, err := fleet.ScorerByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fleetbench: A/B run, scorer=%s, %d clients\n", name, ab.TotalClients)
+		res, err := fleet.Run(fleetCfg(ab.Pools, ab.Shards, ab.ClientsPerPool, ab.SimSeconds, scorer))
+		if err != nil {
+			fatal(err)
+		}
+		ab.Runs = append(ab.Runs, scorerRun{
+			Scorer:          name,
+			MeanRTMillis:    res.Trade.MeanRT * 1000,
+			Throughput:      res.Trade.Throughput,
+			Decisions:       res.Decisions,
+			RemotePct:       pct(res.Remote, res.Decisions),
+			Replans:         res.Replans,
+			AffinityChanges: res.AffinityChanges,
+			WallSeconds:     res.Wall.Seconds(),
+		})
+	}
+	return ab
+}
+
+// measureReplanLatency runs a replanning fleet sized for a meaningful
+// latency sample and summarises the per-plan wall clock.
+func measureReplanLatency(quick bool) replanStats {
+	pools, clients, dur := 16, 300, 60.0
+	if quick {
+		pools, clients, dur = 4, 100, 10
+	}
+	cfg := fleetCfg(pools, 4, clients, dur, fleet.ClassAffinity{})
+	cfg.ReplanPeriod = 1
+	fmt.Fprintf(os.Stderr, "fleetbench: replan latency, %d pools, period %.0fs\n", pools, cfg.ReplanPeriod)
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	return summarise(res.ReplanLatencies)
+}
+
+// runHeadline is the scale proof: 625 pools of 1600 clients — one
+// million closed-loop clients — routed per request by the affinity
+// scorer while Algorithm 1 replans the whole fleet every 2 simulated
+// seconds over warm-started LQN solves, on 8 shards.
+func runHeadline() *headline {
+	h := &headline{
+		TotalClients: 1000000,
+		Pools:        625,
+		Shards:       8,
+		Scorer:       "affinity",
+		SimSeconds:   12,
+	}
+	cfg := fleetCfg(h.Pools, h.Shards, h.TotalClients/h.Pools, 10, fleet.ClassAffinity{})
+	cfg.WarmUp = 2
+	fmt.Fprintf(os.Stderr, "fleetbench: headline, %d clients across %d pools, shards=%d\n",
+		h.TotalClients, h.Pools, h.Shards)
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	wall := res.Wall.Seconds()
+	h.Events = res.Trade.EventsFired
+	h.WallSeconds = wall
+	h.EventsPerSec = float64(res.Trade.EventsFired) / wall
+	h.Decisions = res.Decisions
+	h.DecisionsPerWallSec = float64(res.Decisions) / wall
+	h.RemotePct = pct(res.Remote, res.Decisions)
+	h.MeanRTMillis = res.Trade.MeanRT * 1000
+	h.Throughput = res.Trade.Throughput
+	h.Replans = summarise(res.ReplanLatencies)
+	h.Under120s = wall < 120
+	return h
+}
+
+func summarise(lat []time.Duration) replanStats {
+	if len(lat) == 0 {
+		return replanStats{}
+	}
+	ms := make([]float64, len(lat))
+	for i, d := range lat {
+		ms[i] = float64(d.Nanoseconds()) / 1e6
+	}
+	sort.Float64s(ms)
+	q := func(p float64) float64 { return ms[int(p*float64(len(ms)-1)+0.5)] }
+	return replanStats{
+		Count:     len(ms),
+		P50Millis: q(0.50),
+		P99Millis: q(0.99),
+		MaxMillis: ms[len(ms)-1],
+	}
+}
+
+func pct(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+func record(name string, fn func(b *testing.B)) benchResult {
+	r := testing.Benchmark(fn)
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return benchResult{
+		Name:            name,
+		NsPerOp:         ns,
+		AllocsPerOp:     r.AllocsPerOp(),
+		BytesPerOp:      r.AllocedBytesPerOp(),
+		DecisionsPerSec: 1e9 / ns,
+	}
+}
+
+func parseShards(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("no shard counts in %q", s)
+	}
+	return counts, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleetbench:", err)
+	os.Exit(1)
+}

@@ -3,20 +3,30 @@
 // sweeps load and slack printing the % SLA failure and % server usage
 // cost metrics of figures 5-8.
 //
+// The fleet subcommand moves the same resource manager in-loop: a
+// sharded multi-pool simulation where every request is routed by a
+// pluggable scorer and Algorithm 1 replans the class→pool affinity
+// periodically from inside the run (see internal/fleet).
+//
 // Usage:
 //
 //	rmsim sweep  [-slack 1.1] [-seed 1]     # one figure-5/6 line
 //	rmsim slacks [-from 1.1 -to 0 -step 0.1]  # figure 7
 //	rmsim minzero                             # minimum 0%-failure slack
+//	rmsim fleet  [-pools 8] [-shards 4] [-scorer affinity] [-clients 200]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"perfpred/internal/bench"
+	"perfpred/internal/fleet"
+	"perfpred/internal/lqn"
 	"perfpred/internal/rm"
+	"perfpred/internal/workload"
 )
 
 func main() {
@@ -30,8 +40,22 @@ func main() {
 	from := fs.Float64("from", 1.1, "starting slack for 'slacks'")
 	to := fs.Float64("to", 0, "ending slack for 'slacks'")
 	step := fs.Float64("step", 0.1, "slack step for 'slacks'")
+	pools := fs.Int("pools", 8, "server pools for 'fleet'")
+	shards := fs.Int("shards", 4, "engine shards for 'fleet'")
+	scorer := fs.String("scorer", "affinity",
+		"routing scorer for 'fleet' ("+strings.Join(fleet.ScorerNames(), "|")+")")
+	clients := fs.Int("clients", 200, "clients per pool for 'fleet'")
+	duration := fs.Float64("duration", 30, "measured simulated seconds for 'fleet'")
+	replan := fs.Float64("replan", 2, "replan period in simulated seconds for 'fleet' (0 disables)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
+	}
+
+	if cmd == "fleet" {
+		// The in-loop study needs no §9.1 calibration: the replanner
+		// predicts with warm-started LQN solves directly.
+		runFleet(*pools, *shards, *scorer, *clients, *duration, *replan, *seed)
+		return
 	}
 
 	// The bench suite owns the §9.1 calibration (truth = historical on
@@ -91,8 +115,74 @@ func benchSetup(s *bench.Suite) (pred, truth rm.Predictor, servers []rm.Server, 
 	return s.RMSetup()
 }
 
+// runFleet executes one in-loop fleet run: scorer-routed requests over
+// a heterogeneous pool set, Algorithm 1 replanning inside the
+// simulation against warm-started LQN predictions.
+func runFleet(pools, shards int, scorerName string, clients int, duration, replan float64, seed int64) {
+	sc, err := fleet.ScorerByName(scorerName)
+	if err != nil {
+		fatal(err)
+	}
+	archs := []workload.ServerArch{workload.AppServS(), workload.AppServF(), workload.AppServVF()}
+	buy := clients / 10
+	cfg := fleet.Config{
+		Pools:   pools,
+		Shards:  shards,
+		Archs:   archs,
+		DB:      workload.CaseStudyDB(),
+		Demands: workload.CaseStudyDemands(),
+		Load: workload.Workload{
+			{Class: workload.BuyClass(0.150), Clients: buy},
+			{Class: workload.BrowseClass(0.300), Clients: clients - buy},
+		},
+		Seed:         seed,
+		WarmUp:       duration / 6,
+		Duration:     duration,
+		MaxRTSamples: 1000,
+		Scorer:       sc,
+	}
+	if replan > 0 {
+		pred, err := rm.NewLQNPredictor(archs, cfg.DB, cfg.Demands,
+			workload.BrowseClass(0.300), lqn.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.ReplanPeriod = replan
+		cfg.Replanner = &rm.Replanner{Pred: pred}
+		cfg.WarmupDelay = 0.5
+		cfg.DrainDelay = 1
+	}
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	remotePct := 0.0
+	if res.Decisions > 0 {
+		remotePct = 100 * float64(res.Remote) / float64(res.Decisions)
+	}
+	fmt.Printf("scorer=%s pools=%d shards=%d clients=%d (%d/pool) seed=%d\n",
+		res.Scorer, pools, shards, clients*pools, clients, seed)
+	fmt.Printf("decisions=%d remote=%.1f%% barriers=%d replans=%d affinity-changes=%d wall=%.2fs\n",
+		res.Decisions, remotePct, res.Barriers, res.Replans, res.AffinityChanges, res.Wall.Seconds())
+	if len(res.EstimatedClients) > 0 {
+		fmt.Printf("last plan's client estimates:")
+		for i, pop := range cfg.Load {
+			fmt.Printf(" %s=%d (configured %d)", pop.Class.Name, res.EstimatedClients[i], pop.Clients*pools)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("mean RT %.1f ms  throughput %.1f/s  events %d\n",
+		res.Trade.MeanRT*1000, res.Trade.Throughput, res.Trade.EventsFired)
+	fmt.Println("class    completed  meanRT(ms)  goal(ms)")
+	for _, pop := range cfg.Load {
+		c := res.Trade.PerClass[pop.Class.Name]
+		fmt.Printf("%-8s %9d  %10.1f  %8.0f\n",
+			pop.Class.Name, c.Completed, c.MeanRT*1000, pop.Class.GoalRT*1000)
+	}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rmsim sweep|slacks|minzero [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rmsim sweep|slacks|minzero|fleet [flags]")
 	os.Exit(2)
 }
 

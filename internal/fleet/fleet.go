@@ -1,0 +1,224 @@
+// Package fleet is the in-loop fleet resource manager: an event-driven
+// layer over the sharded trade simulator (internal/trade, internal/sim)
+// in which every request is routed across heterogeneous server pools
+// by a pluggable scorer over incrementally maintained per-pool state,
+// while the paper's Algorithm 1 resource manager (internal/rm) replans
+// the class→pool affinity periodically from inside the simulation —
+// the north-star system the ROADMAP describes.
+//
+// The layer has three moving parts. The Router (a trade.PoolRouter) is
+// the zero-allocation hot path: O(1) counters on arrival/completion,
+// flat index-addressed arrays, and scorers that read only barrier-
+// synced snapshots plus origin-local in-window corrections, so seeded
+// runs stay bit-identical at any shard count. The replanState runs at
+// window barriers: it estimates live per-class client totals by
+// Little's law, snapshots the pools, cuts a plan via rm.Replanner
+// (Algorithm 1 over retained warm-started LQN solves) and phases the
+// affinity diff in with warm-up/drain delays. Run wires both into a
+// trade.ShardedRun and drives the measurement.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"perfpred/internal/rm"
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
+)
+
+// Config describes one fleet run.
+type Config struct {
+	// Pools is the number of server pools (each one application server
+	// plus its own database replica, per the sharded trade model).
+	// At least 2.
+	Pools int
+	// Shards is the engine-shard count the pools are partitioned
+	// across; 0 or 1 runs single-engine (still windowed — the barrier
+	// cadence is the hop latency).
+	Shards int
+	// Archs assigns pool architectures round-robin: pool i runs
+	// Archs[i mod len(Archs)].
+	Archs []workload.ServerArch
+	// DB is each pool's database server.
+	DB workload.DBServer
+	// Demands maps request types to their per-request demands.
+	Demands map[workload.RequestType]workload.Demand
+	// Load is the per-pool workload: every pool carries these
+	// populations (fleet totals are per-class Clients × Pools). Class
+	// GoalRT values drive the replanner.
+	Load workload.Workload
+	// Seed fixes all random streams.
+	Seed int64
+	// WarmUp is the simulated ramp (seconds) discarded before
+	// measurement.
+	WarmUp float64
+	// Duration is the measured window (seconds).
+	Duration float64
+	// Latency is the one-way cross-pool hop latency and conservative
+	// lookahead, seconds; 0 selects trade.DefaultShardLatency.
+	Latency float64
+	// MaxRTSamples bounds per-class sample buffers (0 = trade default).
+	MaxRTSamples int
+
+	// Scorer picks the serving pool per request; nil selects Static
+	// (every client stays on its own pool).
+	Scorer Scorer
+
+	// ReplanPeriod is the simulated seconds between resource-manager
+	// replans; 0 disables replanning (the affinity matrix stays
+	// all-allowed).
+	ReplanPeriod float64
+	// Replanner cuts the plans; required when ReplanPeriod > 0.
+	Replanner *rm.Replanner
+	// WarmupDelay is the simulated delay before a pool newly granted to
+	// a class starts accepting its traffic (server warm-up).
+	WarmupDelay float64
+	// DrainDelay is the simulated delay before a pool revoked from a
+	// class stops accepting its traffic (connection draining).
+	DrainDelay float64
+}
+
+// validate reports fleet-level problems; the underlying trade.Config
+// validation covers the rest.
+func (c Config) validate() error {
+	if c.Pools < 2 {
+		return errors.New("fleet: need at least two pools")
+	}
+	if len(c.Archs) == 0 {
+		return errors.New("fleet: need at least one architecture")
+	}
+	if c.WarmupDelay < 0 || c.DrainDelay < 0 {
+		return errors.New("fleet: warm-up and drain delays must be non-negative")
+	}
+	if c.ReplanPeriod < 0 {
+		return errors.New("fleet: replan period must be non-negative")
+	}
+	if c.ReplanPeriod > 0 {
+		if c.Replanner == nil {
+			return errors.New("fleet: ReplanPeriod needs a Replanner")
+		}
+		seen := make(map[string]bool, len(c.Load))
+		for _, pop := range c.Load {
+			if pop.Class.GoalRT <= 0 {
+				return fmt.Errorf("fleet: class %q needs a positive GoalRT to be replanned", pop.Class.Name)
+			}
+			if seen[pop.Class.Name] {
+				return fmt.Errorf("fleet: duplicate class name %q (replanning needs unique names)", pop.Class.Name)
+			}
+			seen[pop.Class.Name] = true
+		}
+	}
+	return nil
+}
+
+// Result is one fleet run's outcome.
+type Result struct {
+	// Trade is the merged fleet measurement (per-class response times,
+	// namespaced per-server rows, events fired).
+	Trade *trade.Result
+	// Scorer is the scorer the run routed with.
+	Scorer string
+	// Decisions counts routing decisions (closed-client requests that
+	// consulted the scorer); Remote of them left the origin pool.
+	Decisions, Remote uint64
+	// Barriers counts executed window barriers (sync + hook runs).
+	Barriers uint64
+	// Replans counts plans cut; ReplanLatencies holds each plan's
+	// wall-clock solve time in cut order.
+	Replans         int
+	ReplanLatencies []time.Duration
+	// AffinityChanges counts applied affinity-matrix edits (after
+	// warm-up/drain maturation).
+	AffinityChanges int
+	// EstimatedClients is the last replan's per-class Little's-law
+	// client estimates, Load order; nil when replanning is off.
+	EstimatedClients []int
+	// Wall is the run's wall-clock duration.
+	Wall time.Duration
+}
+
+// Run executes one fleet measurement: build the router and (when
+// configured) the in-loop replanner, wire them into a sharded trade
+// run via the router and barrier-hook seams, warm up, measure, merge.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	scorer := cfg.Scorer
+	if scorer == nil {
+		scorer = Static{}
+	}
+	caps := make([]int, cfg.Pools)
+	archNames := make([]string, cfg.Pools)
+	powers := make([]float64, cfg.Pools)
+	for i := 0; i < cfg.Pools; i++ {
+		a := cfg.Archs[i%len(cfg.Archs)]
+		caps[i] = a.MPL
+		archNames[i] = a.Name
+		powers[i] = a.MaxThroughputTypical
+	}
+	router := NewRouter(scorer, caps, len(cfg.Load))
+
+	var rs *replanState
+	if cfg.ReplanPeriod > 0 {
+		rs = newReplanState(cfg.Replanner, router, &cfg, archNames, powers)
+	}
+	var barriers uint64
+	hook := func(now float64) {
+		router.Sync()
+		barriers++
+		if rs != nil {
+			rs.step(now)
+		}
+	}
+
+	tcfg := trade.Config{
+		Server:       cfg.Archs[0], // placeholder; PoolArchs overrides every pool
+		PoolArchs:    cfg.Archs,
+		DB:           cfg.DB,
+		Demands:      cfg.Demands,
+		Load:         cfg.Load,
+		Seed:         cfg.Seed,
+		WarmUp:       cfg.WarmUp,
+		Duration:     cfg.Duration,
+		MaxRTSamples: cfg.MaxRTSamples,
+		Pools:        cfg.Pools,
+		Shards:       cfg.Shards,
+		ShardLatency: cfg.Latency,
+		Router:       router,
+		BarrierHook:  hook,
+	}
+	start := time.Now()
+	run, err := trade.NewSharded(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	defer run.Close()
+	run.Advance(cfg.WarmUp)
+	run.BeginMeasurement()
+	run.Advance(cfg.WarmUp + cfg.Duration)
+	if rs != nil && rs.err != nil {
+		return nil, fmt.Errorf("fleet: in-loop replan failed: %w", rs.err)
+	}
+	tres := run.Collect()
+
+	decisions, remotes := router.Totals()
+	res := &Result{
+		Trade:     tres,
+		Scorer:    scorer.Name(),
+		Decisions: decisions,
+		Remote:    remotes,
+		Barriers:  barriers,
+		Wall:      time.Since(start),
+	}
+	if rs != nil {
+		res.Replans = rs.replans
+		res.ReplanLatencies = rs.latencies
+		res.AffinityChanges = rs.pendingApplied
+		res.EstimatedClients = append([]int(nil), rs.estimates...)
+	}
+	flushMetrics(res)
+	return res, nil
+}

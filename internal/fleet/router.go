@@ -1,0 +1,239 @@
+package fleet
+
+import "perfpred/internal/trade"
+
+// rtAlpha is the EWMA weight of the latest barrier window's mean
+// response time in the per-pool smoothed RT.
+const rtAlpha = 0.3
+
+// View is the routing state a Scorer reads. Every field except
+// Assigned is written only at window barriers (Router.sync, on the
+// coordinator goroutine while all shards are quiescent) and read during
+// windows, so scorers on every shard see the identical snapshot — the
+// property that keeps routing decisions invariant under the
+// pool→shard mapping. Assigned is the one in-window layer: each origin
+// pool's own row of the matrix, counting the decisions that origin has
+// made since the last barrier so its scorers don't herd onto the pool
+// the stale snapshot calls idle. A pool's own event order is
+// mapping-invariant, so origin-local state is legal; reading another
+// origin's live row would not be.
+type View struct {
+	// NPools and NClasses are the matrix dimensions.
+	NPools, NClasses int
+	// InFlight is the barrier snapshot of requests in service or queued
+	// per pool (started − completed).
+	InFlight []int
+	// RT is the EWMA of each pool's per-window mean service-side
+	// response time, seconds; 0 until the pool's first completion.
+	RT []float64
+	// Capacity is each pool's servlet-thread multiplicity (MPL) — the
+	// static weight that makes load comparisons across heterogeneous
+	// pools relative, not absolute.
+	Capacity []int
+	// Allowed is the nclasses×npools class-affinity matrix (row-major
+	// by class): 1 when the resource manager's current plan places the
+	// class on the pool. All ones until the first plan lands.
+	Allowed []uint8
+	// Assigned is the npools×npools in-window decision matrix
+	// (row-major by origin): Assigned[origin*NPools+dst] counts the
+	// requests origin has routed to dst since the last barrier. Scorers
+	// may read only their own origin's row.
+	Assigned []int32
+}
+
+// relLoad is the scorers' shared load signal for pool p as seen by
+// origin: the barrier in-flight snapshot plus the origin's own
+// in-window assignments, relative to the pool's thread capacity.
+func (v *View) relLoad(origin, p int) float64 {
+	return float64(v.InFlight[p]+int(v.Assigned[origin*v.NPools+p])) / float64(v.Capacity[p])
+}
+
+// classCount is the per-(pool, class) counter block: 32 bytes, padded
+// to cache-line multiples per pool row by the Router's stride.
+type classCount struct {
+	started, completed uint64
+	rtSum              float64
+	rtCount            uint64
+}
+
+// originState is per-origin routing state, padded to a cache line so
+// origins on different shards never write-share. dirty lists the
+// Assigned-row slots the origin touched this window; clearing only
+// those at the barrier keeps barrier cost proportional to decisions,
+// not npools².
+type originState struct {
+	routes  uint64
+	remotes uint64
+	dirty   []int32
+	_       [3]uint64 // pad to 64 bytes
+}
+
+// Router is the fleet's trade.PoolRouter: incrementally maintained
+// per-pool state behind a pluggable Scorer. All hot-path methods
+// (Route/Started/Completed) are O(1) counter updates or flat
+// index-addressed scans with zero heap allocation; cross-pool state
+// moves only at window barriers via sync.
+type Router struct {
+	scorer   Scorer
+	npools   int
+	nclasses int
+	stride   int // classCounts per pool row, padded to a 64-byte multiple
+
+	view View
+
+	cc      []classCount // npools×stride, row-major by pool
+	origins []originState
+
+	// Per-pool RT-window baselines for the barrier EWMA.
+	prevRTSum   []float64
+	prevRTCount []uint64
+}
+
+var _ trade.PoolRouter = (*Router)(nil)
+
+// NewRouter builds a router over len(capacities) pools with the given
+// per-pool thread capacities (MPLs). Run builds one internally; the
+// constructor is exported so benchmarks and callers wiring their own
+// trade.Config can drive the hot path directly — install the router as
+// trade.Config.Router and call Sync from the BarrierHook.
+func NewRouter(scorer Scorer, capacities []int, nclasses int) *Router {
+	npools := len(capacities)
+	// Round the per-pool classCount row up to a whole number of 64-byte
+	// lines (2 entries) so pools on different shards never write-share.
+	stride := (nclasses + 1) &^ 1
+	r := &Router{
+		scorer:   scorer,
+		npools:   npools,
+		nclasses: nclasses,
+		stride:   stride,
+		cc:       make([]classCount, npools*stride),
+		origins:  make([]originState, npools),
+		view: View{
+			NPools:   npools,
+			NClasses: nclasses,
+			InFlight: make([]int, npools),
+			RT:       make([]float64, npools),
+			Capacity: capacities,
+			Allowed:  make([]uint8, nclasses*npools),
+			Assigned: make([]int32, npools*npools),
+		},
+		prevRTSum:   make([]float64, npools),
+		prevRTCount: make([]uint64, npools),
+	}
+	for i := range r.view.Allowed {
+		r.view.Allowed[i] = 1 // everything allowed until a plan lands
+	}
+	for i := range r.origins {
+		r.origins[i].dirty = make([]int32, 0, npools)
+	}
+	return r
+}
+
+// Route picks the serving pool for one request (trade.PoolRouter).
+func (r *Router) Route(origin, class int) int {
+	o := &r.origins[origin]
+	o.routes++
+	dst := r.scorer.Pick(&r.view, origin, class)
+	if dst < 0 || dst >= r.npools {
+		dst = origin
+	}
+	slot := origin*r.npools + dst
+	if r.view.Assigned[slot] == 0 {
+		o.dirty = append(o.dirty, int32(dst)) // cap preallocated: no alloc
+	}
+	r.view.Assigned[slot]++
+	if dst != origin {
+		o.remotes++
+	}
+	return dst
+}
+
+// Started records a service-side admission (trade.PoolRouter).
+func (r *Router) Started(pool, class int) {
+	r.cc[pool*r.stride+class].started++
+}
+
+// Completed records a service-side completion (trade.PoolRouter).
+func (r *Router) Completed(pool, class int, rt float64) {
+	c := &r.cc[pool*r.stride+class]
+	c.completed++
+	c.rtSum += rt
+	c.rtCount++
+}
+
+// Sync publishes the barrier snapshot: per-pool in-flight counts and
+// the RT EWMA from this window's completions, then clears every
+// origin's in-window assignment row via its dirty list. Call it only
+// while all shards are quiescent — Run invokes it from the window
+// barrier hook on the coordinator goroutine.
+func (r *Router) Sync() {
+	for p := 0; p < r.npools; p++ {
+		base := p * r.stride
+		var started, completed, rtCount uint64
+		var rtSum float64
+		for c := 0; c < r.nclasses; c++ {
+			cc := &r.cc[base+c]
+			started += cc.started
+			completed += cc.completed
+			rtSum += cc.rtSum
+			rtCount += cc.rtCount
+		}
+		r.view.InFlight[p] = int(started - completed)
+		if dc := rtCount - r.prevRTCount[p]; dc > 0 {
+			mean := (rtSum - r.prevRTSum[p]) / float64(dc)
+			if r.view.RT[p] == 0 {
+				r.view.RT[p] = mean
+			} else {
+				r.view.RT[p] += rtAlpha * (mean - r.view.RT[p])
+			}
+			r.prevRTSum[p] = rtSum
+			r.prevRTCount[p] = rtCount
+		}
+	}
+	for oi := range r.origins {
+		o := &r.origins[oi]
+		row := oi * r.npools
+		for _, dst := range o.dirty {
+			r.view.Assigned[row+int(dst)] = 0
+		}
+		o.dirty = o.dirty[:0]
+	}
+}
+
+// PoolTotals returns pool p's lifetime started/completed counts and
+// the live in-flight difference — the conservation identity
+// started − completed == in-flight that the property tests assert.
+// Call only while the fleet is quiescent (between Advance calls or at
+// a barrier).
+func (r *Router) PoolTotals(p int) (started, completed uint64, inflight int) {
+	base := p * r.stride
+	for c := 0; c < r.nclasses; c++ {
+		cc := &r.cc[base+c]
+		started += cc.started
+		completed += cc.completed
+	}
+	return started, completed, int(started - completed)
+}
+
+// classTotals sums class c's completions across all pools — the
+// replanner's Little's-law input. Pool-index order keeps the
+// floating-point sum deterministic.
+func (r *Router) classTotals(c int) (completed uint64, rtSum float64, rtCount uint64) {
+	for p := 0; p < r.npools; p++ {
+		cc := &r.cc[p*r.stride+c]
+		completed += cc.completed
+		rtSum += cc.rtSum
+		rtCount += cc.rtCount
+	}
+	return completed, rtSum, rtCount
+}
+
+// Totals returns the fleet-wide routing decision and remote-decision
+// counts. Call only while the fleet is quiescent.
+func (r *Router) Totals() (decisions, remotes uint64) {
+	for i := range r.origins {
+		decisions += r.origins[i].routes
+		remotes += r.origins[i].remotes
+	}
+	return decisions, remotes
+}

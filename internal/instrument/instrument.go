@@ -5,6 +5,7 @@
 package instrument
 
 import (
+	"perfpred/internal/fleet"
 	"perfpred/internal/hybrid"
 	"perfpred/internal/lqn"
 	"perfpred/internal/obs"
@@ -26,4 +27,5 @@ func EnableAll(r *obs.Registry) {
 	hybrid.EnableMetrics(r)
 	rm.EnableMetrics(r)
 	serve.EnableMetrics(r)
+	fleet.EnableMetrics(r)
 }

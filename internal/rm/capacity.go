@@ -1,0 +1,61 @@
+package rm
+
+import "fmt"
+
+func errGoal(g float64) error {
+	return fmt.Errorf("rm: capacity search needs a positive goal, got %v", g)
+}
+
+// CapacitySearch finds the largest integer population whose predicted
+// mean response time stays within goalRT, by probing one client, then
+// doubling the population until the goal breaks, then bisecting the
+// final interval — the search SimOracle.MaxClients has always used,
+// extracted so every capacity question in the package asks it the same
+// way. predict is probed at integer populations only; limit caps the
+// search (populations above it are reported as limit). Returns 0 when
+// even one client misses the goal.
+//
+// The probe sequence is a pure function of (goalRT, the predictor's
+// responses), so a deterministic predictor yields a deterministic
+// capacity — the property the fleet replanner and the evaluation
+// harness both rely on.
+func CapacitySearch(predict func(n float64) (float64, error), goalRT float64, limit int) (int, error) {
+	if goalRT <= 0 {
+		return 0, errGoal(goalRT)
+	}
+	rt, err := predict(1)
+	if err != nil {
+		return 0, err
+	}
+	if rt > goalRT {
+		return 0, nil // even one client misses the goal
+	}
+	lo, hi := 1, 2
+	for {
+		if hi > limit {
+			return limit, nil
+		}
+		rt, err := predict(float64(hi))
+		if err != nil {
+			return 0, err
+		}
+		if rt > goalRT {
+			break
+		}
+		lo = hi
+		hi *= 2
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		rt, err := predict(float64(mid))
+		if err != nil {
+			return 0, err
+		}
+		if rt > goalRT {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, nil
+}

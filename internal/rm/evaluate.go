@@ -133,7 +133,8 @@ func Evaluate(plan *Plan, classes []Class, servers []Server, truth Predictor, op
 	}
 	serverLoad := make(map[string]int)
 	serverMinGoal := make(map[string]float64)
-	pool := make(map[string]int) // class -> rejected clients awaiting re-placement
+	pool := make(map[string]int)    // class -> rejected clients awaiting re-placement
+	capMemo := make(map[capKey]int) // per-call capacity-search memo
 
 	serverNames := make([]string, 0, len(perServer))
 	for name := range perServer {
@@ -154,7 +155,7 @@ func Evaluate(plan *Plan, classes []Class, servers []Server, truth Predictor, op
 			}
 			total += placements[i].real
 		}
-		capReal, err := realCapacity(truth, srv.Arch, minGoal*threshold)
+		capReal, err := realCapacity(truth, srv.Arch, minGoal*threshold, capMemo)
 		if err != nil {
 			return nil, err
 		}
@@ -210,7 +211,7 @@ func Evaluate(plan *Plan, classes []Class, servers []Server, truth Predictor, op
 				if mg < g {
 					g = mg
 				}
-				capReal, err := realCapacity(truth, s.Arch, g*threshold)
+				capReal, err := realCapacity(truth, s.Arch, g*threshold, capMemo)
 				if err != nil {
 					return nil, err
 				}
@@ -252,15 +253,35 @@ func Evaluate(plan *Plan, classes []Class, servers []Server, truth Predictor, op
 	}, nil
 }
 
+// capKey memoizes realCapacity within one Evaluate call: the admission
+// and re-placement passes ask for the same (architecture, effective
+// goal) pairs repeatedly, and the search behind each answer probes the
+// truth predictor O(log n) times.
+type capKey struct {
+	arch string
+	goal float64
+}
+
 // realCapacity asks the truth predictor how many clients the
-// architecture actually holds within the goal.
-func realCapacity(truth Predictor, arch string, goal float64) (int, error) {
+// architecture actually holds within the goal, via the same
+// doubling+bisection search over integer populations that
+// SimOracle.MaxClients runs (CapacitySearch) — capacity is found by
+// probing the predictor's response-time curve directly instead of
+// trusting a MaxClients implementation to invert it.
+func realCapacity(truth Predictor, arch string, goal float64, memo map[capKey]int) (int, error) {
+	k := capKey{arch: arch, goal: goal}
+	if c, ok := memo[k]; ok {
+		return c, nil
+	}
 	if mm := metrics.Load(); mm != nil {
 		mm.predictorCalls.Inc()
 	}
-	maxN, err := truth.MaxClients(arch, goal)
+	c, err := CapacitySearch(func(n float64) (float64, error) {
+		return truth.Predict(arch, n)
+	}, goal, maxOracleClients)
 	if err != nil {
 		return 0, err
 	}
-	return int(math.Floor(maxN)), nil
+	memo[k] = c
+	return c, nil
 }

@@ -67,46 +67,12 @@ func (o *SimOracle) Predict(arch string, n float64) (float64, error) {
 }
 
 // MaxClients returns the largest population whose measured mean
-// response time stays within goalRT, found by doubling the population
-// until the goal breaks and bisecting the final interval. Every probe
-// lands in the memo, so a follow-up Predict at the capacity is free.
+// response time stays within goalRT, found by CapacitySearch's doubling
+// plus bisection. Every probe lands in the memo, so a follow-up Predict
+// at the capacity is free.
 func (o *SimOracle) MaxClients(arch string, goalRT float64) (float64, error) {
-	if goalRT <= 0 {
-		return 0, fmt.Errorf("rm: capacity search needs a positive goal, got %v", goalRT)
-	}
-	rt, err := o.Predict(arch, 1)
-	if err != nil {
-		return 0, err
-	}
-	if rt > goalRT {
-		return 0, nil // even one client misses the goal
-	}
-	lo, hi := 1, 2
-	for {
-		if hi > maxOracleClients {
-			return float64(maxOracleClients), nil
-		}
-		rt, err := o.Predict(arch, float64(hi))
-		if err != nil {
-			return 0, err
-		}
-		if rt > goalRT {
-			break
-		}
-		lo = hi
-		hi *= 2
-	}
-	for hi-lo > 1 {
-		mid := (lo + hi) / 2
-		rt, err := o.Predict(arch, float64(mid))
-		if err != nil {
-			return 0, err
-		}
-		if rt > goalRT {
-			hi = mid
-		} else {
-			lo = mid
-		}
-	}
-	return float64(lo), nil
+	n, err := CapacitySearch(func(n float64) (float64, error) {
+		return o.Predict(arch, n)
+	}, goalRT, maxOracleClients)
+	return float64(n), err
 }

@@ -104,6 +104,9 @@ type Coordinator struct {
 	lookahead float64
 	now       float64
 	windowEnd float64 // read by shard workers during pool.Run
+	// barrierHook runs on the coordinator goroutine at every executed
+	// window barrier, after exchange; see SetBarrierHook.
+	barrierHook func(now float64)
 }
 
 // NewCoordinator builds nshards calendar-queue engines coordinated
@@ -238,6 +241,22 @@ func (c *Coordinator) nextEventTime() float64 {
 	return min
 }
 
+// SetBarrierHook registers fn to run on the coordinator goroutine at
+// every executed window barrier: after the shards finish the window
+// and the message exchange completes, before the next window starts.
+// At that instant every shard is quiescent, so the hook may read and
+// write state owned by any shard — the mechanism fleet layers use to
+// publish cross-shard snapshots and run in-loop control (replanning)
+// without touching the per-window hot path.
+//
+// Barrier times are a property of the logical event population (window
+// ends and idle skips depend only on the mapping-invariant next-event
+// time), so the hook fires at the identical sequence of simulated
+// times at any shard count. Skipped idle windows hold no events and
+// produce no barrier; the final clamp of a Run call (no events left
+// before until) performs no exchange and no hook call either.
+func (c *Coordinator) SetBarrierHook(fn func(now float64)) { c.barrierHook = fn }
+
 // Run advances every shard to simulated time until, alternating
 // concurrent windows with barrier exchanges. Idle stretches — no
 // pending event within the next window — are skipped in whole
@@ -268,6 +287,9 @@ func (c *Coordinator) Run(until float64) uint64 {
 		c.pool.Run()
 		c.exchange()
 		c.now = end
+		if c.barrierHook != nil {
+			c.barrierHook(end)
+		}
 	}
 	return c.Fired() - startFired
 }

@@ -194,6 +194,30 @@ type Config struct {
 	// it must be positive when RemoteFraction is. 0 selects
 	// DefaultShardLatency. A remote response time includes two hops.
 	ShardLatency float64
+
+	// PoolArchs, when non-empty, makes the fleet heterogeneous: pool i
+	// runs architecture PoolArchs[i mod len(PoolArchs)] instead of
+	// Server, so one sharded run can mix AppServS/F/VF pools the way the
+	// §9 server room does. Requires a sharded run; incompatible with a
+	// multi-server tier (Servers).
+	PoolArchs []workload.ServerArch
+
+	// Router, when non-nil, replaces the static pool assignment with
+	// per-request routing: every closed client asks the router which
+	// pool serves each request (internal/fleet provides scorer-backed
+	// implementations). Requires a sharded run with at least two pools;
+	// mutually exclusive with RemoteFraction, whose random sibling draw
+	// it supersedes. The hop latency (and conservative lookahead) is
+	// ShardLatency even when all decisions happen to stay local.
+	Router PoolRouter
+
+	// BarrierHook, when non-nil, is installed as the coordinator's
+	// window-barrier callback (sim.Coordinator.SetBarrierHook): it runs
+	// between windows, when every shard is quiescent, at the identical
+	// sequence of simulated times for any shard count. The fleet layer
+	// uses it to publish routing snapshots and replan in-loop. Requires
+	// a sharded run; the barrier cadence is the resolved lookahead.
+	BarrierHook func(now float64)
 }
 
 // DefaultMaxRTSamples bounds percentile sample buffers by default.
@@ -323,6 +347,9 @@ func (c Config) Validate() error {
 		if c.RemoteFraction != 0 || c.ShardLatency != 0 {
 			return errors.New("trade: RemoteFraction/ShardLatency require a sharded run (Pools or Shards > 1)")
 		}
+		if len(c.PoolArchs) > 0 || c.Router != nil || c.BarrierHook != nil {
+			return errors.New("trade: PoolArchs/Router/BarrierHook require a sharded run (Pools or Shards > 1)")
+		}
 		return nil
 	}
 	// Sharded fleet restrictions: the per-operation and streaming-P²
@@ -336,6 +363,24 @@ func (c Config) Validate() error {
 	}
 	if c.RemoteFraction > 0 && c.effectivePools() < 2 {
 		return errors.New("trade: RemoteFraction needs at least two pools")
+	}
+	if len(c.PoolArchs) > 0 {
+		if len(c.Servers) > 0 {
+			return errors.New("trade: PoolArchs is incompatible with a multi-server tier (Servers)")
+		}
+		for _, a := range c.PoolArchs {
+			if err := a.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	if c.Router != nil {
+		if c.effectivePools() < 2 {
+			return errors.New("trade: Router needs at least two pools")
+		}
+		if c.RemoteFraction > 0 {
+			return errors.New("trade: Router and RemoteFraction are mutually exclusive")
+		}
 	}
 	return nil
 }

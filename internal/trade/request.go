@@ -25,6 +25,7 @@ type reqState struct {
 
 	app     *appServer
 	srv     int
+	cls     int // Config.Load index of the request's class (router key)
 	d       workload.Demand
 	opName  string
 	arrival float64
@@ -172,6 +173,14 @@ func (r *reqState) latDone() {
 // legacy nested closures ordered them.
 func (r *reqState) finish() {
 	s := r.s
+	if s.router != nil {
+		// Service-side completion at the serving pool: r.arrival is this
+		// pool's admission time for both local and hop-delivered requests,
+		// so the reported response time excludes hop latency. Always
+		// reported (not measurement-gated) — the router's in-flight
+		// conservation is control state, not statistics.
+		s.router.Completed(int(s.poolID), r.cls, s.eng.Now()-r.arrival)
+	}
 	if r.xr != nil {
 		// A remote pool's request: release the thread, then ship the
 		// response back across the shard boundary instead of recording

@@ -31,6 +31,7 @@ type xreq struct {
 	dst     *simulator
 	c       *client
 	acc     *classAcc
+	cls     int // Config.Load index of the client's class (router key)
 	d       workload.Demand
 	arrival float64 // origin-pool issue time; rt includes both hops
 	// homeShard is the origin's shard index, the Send destination for
@@ -70,21 +71,29 @@ func (s *simulator) putXreq(xr *xreq) {
 }
 
 // issueRemote forwards one client request to a uniformly chosen
-// sibling pool. The demand is drawn origin-side (on the origin's own
-// streams, keeping every stream pool-local); the destination only
-// executes it. The hop delay equals the coordinator lookahead, so the
-// send is always legal.
+// sibling pool — the RemoteFraction traffic model. The demand is drawn
+// origin-side (on the origin's own streams, keeping every stream
+// pool-local); the destination only executes it.
 func (s *simulator) issueRemote(c *client) {
 	idx := s.remote.Intn(len(s.pools) - 1)
 	if idx >= int(s.poolID) {
 		idx++
 	}
+	s.issueRemoteTo(c, idx)
+}
+
+// issueRemoteTo forwards one client request to pool idx. The hop delay
+// equals the coordinator lookahead, so the send is always legal. Both
+// the random RemoteFraction draw and the fleet router's per-request
+// decisions funnel through here.
+func (s *simulator) issueRemoteTo(c *client, idx int) {
 	dst := s.pools[idx]
 	d, _ := s.nextRequest(c)
 	xr := s.getXreq()
 	xr.dst = dst
 	xr.c = c
 	xr.acc = c.acc
+	xr.cls = c.classIdx
 	xr.d = d
 	xr.arrival = s.eng.Now()
 	s.sendSeq++
@@ -99,10 +108,16 @@ func (xr *xreq) doArrive() {
 	d := xr.dst
 	r := d.getReq()
 	r.xr = xr
+	r.cls = xr.cls
 	r.d = xr.d
 	r.arrival = d.eng.Now()
 	r.srv = d.pickServerOpen()
 	r.app = d.apps[r.srv]
+	if d.router != nil {
+		// Service-side accounting begins at hop arrival, on the serving
+		// pool's shard — the router's threading contract.
+		d.router.Started(int(d.poolID), xr.cls)
+	}
 	r.app.slots.Acquire(0, r.onSlot)
 }
 
@@ -139,17 +154,30 @@ func newShardedSim(cfg Config) (*shardedSim, error) {
 	if latency == 0 {
 		latency = DefaultShardLatency
 	}
-	// With no cross-pool traffic the pools never interact: an infinite
-	// lookahead collapses the run into one barrier-free window.
+	// With no cross-pool traffic and no barrier consumer the pools never
+	// interact: an infinite lookahead collapses the run into one
+	// barrier-free window. A router can send to any sibling at any time,
+	// and a barrier hook needs barriers to fire on, so either forces the
+	// conservative windowed mode.
 	lookahead := math.Inf(1)
-	if cfg.RemoteFraction > 0 {
+	if cfg.RemoteFraction > 0 || cfg.Router != nil || cfg.BarrierHook != nil {
 		lookahead = latency
 	}
 	coord := sim.NewCoordinator(nShards, lookahead)
+	if cfg.BarrierHook != nil {
+		coord.SetBarrierHook(cfg.BarrierHook)
+	}
 	root := sim.NewStream(cfg.Seed)
 	ss := &shardedSim{cfg: cfg, coord: coord, pools: make([]*simulator, nPools)}
 	for i := 0; i < nPools; i++ {
-		p, err := newSimulator(cfg, simOptions{
+		pcfg := cfg
+		if len(cfg.PoolArchs) > 0 {
+			// Heterogeneous fleet: the pool's single-server tier is its
+			// assigned architecture.
+			pcfg.Server = cfg.PoolArchs[i%len(cfg.PoolArchs)]
+			pcfg.Servers = nil
+		}
+		p, err := newSimulator(pcfg, simOptions{
 			shard:   coord.Shard(i % nShards),
 			root:    root.Split(uint64(i)),
 			poolID:  uint64(i),
@@ -165,6 +193,61 @@ func newShardedSim(cfg Config) (*shardedSim, error) {
 		p.pools = ss.pools
 	}
 	return ss, nil
+}
+
+// ShardedRun is the stepped interface to a sharded fleet run: build
+// once, advance the coordinator in caller-chosen strides, switch
+// measurement on at the warm-up boundary, and collect the merged fleet
+// result at the end. Run drives the whole lifecycle itself; the fleet
+// layer (internal/fleet) steps the run so its barrier hook can replan
+// in-loop while the caller still owns the clock.
+type ShardedRun struct {
+	ss     *shardedSim
+	closed bool
+}
+
+// NewSharded builds a sharded fleet run without advancing it. The
+// configuration must select the sharded model (Pools or Shards > 1).
+func NewSharded(cfg Config) (*ShardedRun, error) {
+	if !cfg.sharded() {
+		return nil, fmt.Errorf("trade: NewSharded needs a sharded configuration (Pools or Shards > 1)")
+	}
+	ss, err := newShardedSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedRun{ss: ss}, nil
+}
+
+// Advance runs the fleet to simulated time until (monotone across
+// calls) and returns the events fired by this stride.
+func (r *ShardedRun) Advance(until float64) uint64 { return r.ss.coord.Run(until) }
+
+// Now returns the fleet clock.
+func (r *ShardedRun) Now() float64 { return r.ss.coord.Now() }
+
+// BeginMeasurement discards everything observed so far and starts the
+// measured window. Call it exactly once, at the configured WarmUp
+// boundary: Collect divides by Config.Duration, so the measured window
+// must span exactly that long.
+func (r *ShardedRun) BeginMeasurement() {
+	for _, p := range r.ss.pools {
+		p.resetStats()
+		p.measuring = true
+	}
+}
+
+// Collect merges the fleet's measurements into one Result. The run can
+// still be advanced afterwards, but the statistics keep accumulating.
+func (r *ShardedRun) Collect() *Result { return r.ss.collect() }
+
+// Close releases the coordinator's worker pool. The run must not be
+// advanced afterwards. Safe to call twice.
+func (r *ShardedRun) Close() {
+	if !r.closed {
+		r.closed = true
+		r.ss.coord.Close()
+	}
 }
 
 // runSharded is Run for sharded configurations: warm the whole fleet

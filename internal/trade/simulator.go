@@ -55,6 +55,7 @@ type simulator struct {
 	xLatency float64
 	sendSeq  uint64
 	xFree    *xreq
+	router   PoolRouter // per-request routing hook (nil = static assignment)
 
 	rrNext        int
 	stickyWeights []float64 // server speeds, hoisted for assignSticky
@@ -139,10 +140,11 @@ func (a *classAcc) record(rt float64) {
 // server a sticky workload manager assigned it to (-1 when requests
 // are routed dynamically).
 type client struct {
-	id      int
-	class   workload.ServiceClass
-	home    int
-	session *buySession // non-nil for detailed buy clients
+	id       int
+	class    workload.ServiceClass
+	classIdx int // index of the client's population in Config.Load (routing key)
+	home     int
+	session  *buySession // non-nil for detailed buy clients
 
 	detailBrowse bool         // detailed-operations browse client
 	sampler      *typeSampler // the class's resolved request-type mix
@@ -268,7 +270,7 @@ func newSimulator(cfg Config, opt simOptions) (*simulator, error) {
 	// population order; open streams draw their first inter-arrival gap
 	// in place.
 	id, sessID := 0, 0
-	for _, pop := range cfg.Load {
+	for pi, pop := range cfg.Load {
 		sampler := newTypeSampler(pop.Class.Mix, cfg.Demands, cfg.CompatTypeChoice)
 		s.acc[pop.Class.Name] = &classAcc{maxSample: cfg.MaxRTSamples, rng: sampleRNG.Derive(uint64(len(s.acc)))}
 		if cfg.StreamingPercentiles {
@@ -279,7 +281,7 @@ func newSimulator(cfg Config, opt simOptions) (*simulator, error) {
 			// each an independent request with no think loop and no
 			// session identity.
 			if !opt.skipOpen {
-				s.startOpenStream(pop, sampler, arrivals.Derive(uint64(len(s.acc))))
+				s.startOpenStream(pop, pi, sampler, arrivals.Derive(uint64(len(s.acc))))
 			}
 			continue
 		}
@@ -287,6 +289,7 @@ func newSimulator(cfg Config, opt simOptions) (*simulator, error) {
 			c := &s.clients[id]
 			c.id = id
 			c.class = pop.Class
+			c.classIdx = pi
 			c.home = -1
 			c.sampler = sampler
 			if cfg.Routing == RouteSticky || cfg.Routing == "" {
@@ -329,6 +332,7 @@ func newSimulator(cfg Config, opt simOptions) (*simulator, error) {
 		s.shard = opt.shard
 		s.poolID = opt.poolID
 		s.xLatency = opt.latency
+		s.router = cfg.Router
 		if cfg.RemoteFraction > 0 {
 			// Derived last so the pool's other streams keep the same
 			// component numbering as the legacy constructor.
@@ -343,7 +347,7 @@ func newSimulator(cfg Config, opt simOptions) (*simulator, error) {
 // back to speed-weighted random choice — an arrival has no home
 // server) and bypasses the session cache, which models per-client
 // state that open requests do not carry.
-func (s *simulator) startOpenStream(pop workload.Population, sampler *typeSampler, rng *sim.Stream) {
+func (s *simulator) startOpenStream(pop workload.Population, classIdx int, sampler *typeSampler, rng *sim.Stream) {
 	mean := 1 / pop.ArrivalRate
 	name := pop.Class.Name
 	var arrive func()
@@ -352,10 +356,16 @@ func (s *simulator) startOpenStream(pop workload.Population, sampler *typeSample
 		d := sampler.sample(s.choose)
 		r := s.getReq()
 		r.acc = s.acc[name]
+		r.cls = classIdx
 		r.d = d
 		r.arrival = s.eng.Now()
 		r.srv = s.pickServerOpen()
 		r.app = s.apps[r.srv]
+		if s.router != nil {
+			// Open arrivals are never routed across pools, but they do
+			// occupy the pool, so the router's in-flight state counts them.
+			s.router.Started(int(s.poolID), classIdx)
+		}
 		r.app.slots.Acquire(0, r.onSlot)
 	}
 	s.eng.Schedule(rng.Exp(mean), arrive)
@@ -422,7 +432,15 @@ func (s *simulator) resetStats() {
 // queue for a thread, process, respond, then think and repeat. The
 // whole lifecycle runs on a pooled reqState — no per-request closures.
 func (s *simulator) issueRequest(c *client) {
-	if s.remote != nil && s.remote.Float64() < s.cfg.RemoteFraction {
+	if s.router != nil {
+		// Per-request fleet routing: the router picks the serving pool;
+		// anything but the client's own pool rides the cross-pool hop.
+		if dst := s.router.Route(int(s.poolID), c.classIdx); dst != int(s.poolID) {
+			s.issueRemoteTo(c, dst)
+			return
+		}
+		s.router.Started(int(s.poolID), c.classIdx)
+	} else if s.remote != nil && s.remote.Float64() < s.cfg.RemoteFraction {
 		s.issueRemote(c)
 		return
 	}
@@ -430,6 +448,7 @@ func (s *simulator) issueRequest(c *client) {
 	r := s.getReq()
 	r.c = c
 	r.acc = c.acc
+	r.cls = c.classIdx
 	r.d = d
 	r.opName = opName
 	r.arrival = s.eng.Now()
