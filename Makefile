@@ -31,10 +31,17 @@
 #                 it on an ephemeral port, verify a cold build, cache-hit
 #                 counter movement over /metrics, and a clean SIGTERM
 #                 drain.
+#   make bench-scenario — the declarative-scenario evidence: the
+#                 flash-sale transient-error study (per-window HYDRA /
+#                 LQN / hybrid error vs simulated truth), the
+#                 steady-window consistency and legacy bit-equality
+#                 check, the 1/2/4-shard determinism fingerprint and
+#                 the generated-traffic burstiness self-check,
+#                 snapshotted to BENCH_scenario.json (commit it).
 
 GO ?= go
 
-.PHONY: test race bench bench-sim bench-fleet bench-serve serve-smoke metrics-smoke
+.PHONY: test race bench bench-sim bench-fleet bench-serve bench-scenario serve-smoke metrics-smoke
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -46,6 +53,8 @@ race:
 	$(GO) test -race -run 'TestCoordinator|TestSharded' ./internal/sim ./internal/trade
 	$(GO) test -race -run 'TestFleet' ./internal/fleet
 	$(GO) test -race -run 'TestConcurrentServing|TestColdStampedeBuildsOnce|TestOverloadShedsNotCollapses|TestGracefulShutdownDrains' ./internal/serve
+	$(GO) test -race ./internal/scenario
+	$(GO) test -race -run 'TestScenario|TestFleetScenario' ./internal/trade ./internal/fleet
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedule|BenchmarkRunDrain|BenchmarkStationSubmit' -benchmem ./internal/sim
@@ -65,6 +74,9 @@ bench-fleet:
 
 bench-serve:
 	$(GO) run ./cmd/predload -out BENCH_serve.json
+
+bench-scenario:
+	$(GO) run ./cmd/scenariobench -out BENCH_scenario.json
 
 serve-smoke:
 	$(GO) build -o /tmp/perfpred-predserve ./cmd/predserve

@@ -6,12 +6,20 @@
 // Usage:
 //
 //	experiments [-seed 17] [-workers N] [-list] [-metrics-addr :9100] [-report metrics.json] [name ...]
+//	experiments -scenario spec.json [-window 30] [-duration 420]
 //
 // With no names, every experiment runs in paper order. Sweeps fan out
 // across -workers concurrent simulations (default: all cores);
 // -workers 1 reproduces the exact serial evaluation order. The
 // emitted tables are byte-identical for every worker count — only the
 // wall clock changes, which is reported per experiment on stderr.
+//
+// With -scenario, the named experiments are replaced by a windowed
+// transient run of the given declarative workload spec (see
+// internal/scenario and examples/scenarios/): the simulated testbed
+// runs the spec's time-varying traffic from a cold start and the
+// table reports, per window, the spec's offered rate alongside the
+// measured completions, throughput and mean response time.
 package main
 
 import (
@@ -25,6 +33,9 @@ import (
 	"perfpred/internal/bench"
 	"perfpred/internal/instrument"
 	"perfpred/internal/obs"
+	"perfpred/internal/scenario"
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
 )
 
 func main() {
@@ -36,6 +47,9 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9100)")
 	report := flag.String("report", "", "write a JSON metrics snapshot to this file on exit")
+	scenarioPath := flag.String("scenario", "", "run a declarative workload spec (JSON file) as a windowed transient experiment instead of the paper tables")
+	window := flag.Float64("window", 30, "window width in simulated seconds for -scenario")
+	duration := flag.Float64("duration", 420, "simulated seconds for -scenario")
 	flag.Parse()
 
 	if *metricsAddr != "" || *report != "" {
@@ -101,6 +115,15 @@ func main() {
 		t.Fprint(os.Stdout)
 	}
 
+	if *scenarioPath != "" {
+		t, err := scenarioTable(*scenarioPath, *seed, *window, *duration)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+		return
+	}
+
 	suite := bench.NewSuite(*seed)
 	suite.Opt.Workers = *workers
 	names := flag.Args()
@@ -118,6 +141,45 @@ func main() {
 		// across worker counts and runs.
 		fmt.Fprintf(os.Stderr, "experiments: %s in %v (workers=%d)\n", name, time.Since(start).Round(time.Millisecond), *workers)
 	}
+}
+
+// scenarioTable cold-starts the spec's traffic on the case-study
+// testbed and reports each window's offered rate next to what the
+// simulation measured.
+func scenarioTable(path string, seed int64, window, duration float64) (*bench.Table, error) {
+	sc, err := scenario.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := trade.Config{
+		Server:   workload.AppServF(),
+		DB:       workload.CaseStudyDB(),
+		Demands:  workload.CaseStudyDemands(),
+		Scenario: sc,
+		Seed:     seed,
+		Duration: duration,
+	}
+	points, err := trade.Windows(cfg, window)
+	if err != nil {
+		return nil, err
+	}
+	t := &bench.Table{
+		ID:     "scenario",
+		Title:  fmt.Sprintf("Windowed transient run of scenario %q", sc.Name),
+		Header: []string{"window", "offered/s", "completed", "throughput/s", "meanRT(ms)"},
+	}
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("[%.0f,%.0f)", p.Start, p.End),
+			fmt.Sprintf("%.1f", sc.MeanOfferedRate(p.Start, p.End)),
+			fmt.Sprintf("%d", p.Completed),
+			fmt.Sprintf("%.1f", p.Throughput),
+			fmt.Sprintf("%.1f", p.MeanRT*1000),
+		)
+	}
+	t.AddNote("cold start (no warm-up discard); offered/s is the spec's open-cohort rate, so closed cohorts contribute 0")
+	t.AddNote("seed %d, window %.0fs, horizon %.0fs on AppServF + case-study DB", seed, window, duration)
+	return t, nil
 }
 
 func fatal(err error) {

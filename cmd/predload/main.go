@@ -27,6 +27,7 @@
 // Usage:
 //
 //	predload [-out BENCH_serve.json] [-seconds 8] [-quick]
+//	predload -scenario examples/scenarios/flashsale.json   # extra spec-paced phase
 //	predload -smoke -serve-bin ./predserve
 package main
 
@@ -52,6 +53,7 @@ import (
 	"flag"
 
 	"perfpred/internal/lqn"
+	"perfpred/internal/scenario"
 	"perfpred/internal/serve"
 	"perfpred/internal/trade"
 	"perfpred/internal/workload"
@@ -132,6 +134,25 @@ type overload struct {
 	Within2x  bool `json:"accepted_p99_within_2x"`
 }
 
+// scenarioPaced is the optional -scenario phase: the request stream's
+// arrival instants come from a declarative workload spec's generators
+// (internal/scenario.Pacer) replayed in real time, so the service
+// faces the spec's bursts and ramps instead of a closed loop.
+type scenarioPaced struct {
+	Spec      string  `json:"spec"`
+	Seconds   float64 `json:"seconds"`
+	Scheduled int     `json:"scheduled"`
+	Issued    int     `json:"issued"`
+	PerSec    float64 `json:"throughput_per_sec"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	// MeanLagMS is how far behind its schedule the driver ran on
+	// average — pacing health, not service latency.
+	MeanLagMS float64 `json:"mean_lag_ms"`
+	Errors    int     `json:"errors"`
+	OnPace    bool    `json:"on_pace"`
+}
+
 type snapshot struct {
 	Note        string         `json:"note"`
 	Cores       int            `json:"cores"`
@@ -140,6 +161,7 @@ type snapshot struct {
 	Coalesced   coalescedBurst `json:"coalesced_burst"`
 	Sustained   sustained      `json:"sustained"`
 	Overload    overload       `json:"overload"`
+	Scenario    *scenarioPaced `json:"scenario_paced,omitempty"`
 	AllPass     bool           `json:"all_pass"`
 	FailReasons []string       `json:"fail_reasons,omitempty"`
 }
@@ -150,6 +172,7 @@ func main() {
 	quick := flag.Bool("quick", false, "short phases for CI smoke runs")
 	smoke := flag.Bool("smoke", false, "end-to-end smoke against a real predserve binary")
 	serveBin := flag.String("serve-bin", "", "path to the predserve binary (smoke mode)")
+	scenarioPath := flag.String("scenario", "", "add a phase that paces requests from a declarative workload spec (JSON file)")
 	flag.Parse()
 
 	if *smoke {
@@ -175,6 +198,18 @@ func main() {
 	snap.Coalesced = runCoalesced(*quick)
 	snap.Sustained = runSustained(*seconds)
 	snap.Overload = runOverload()
+	if *scenarioPath != "" {
+		sp := runScenarioPaced(*scenarioPath, *seconds)
+		snap.Scenario = &sp
+		if sp.Errors > 0 {
+			snap.FailReasons = append(snap.FailReasons, fmt.Sprintf(
+				"scenario-paced phase saw %d request errors", sp.Errors))
+		}
+		if !sp.OnPace {
+			snap.FailReasons = append(snap.FailReasons, fmt.Sprintf(
+				"scenario-paced driver fell %.0fms behind its schedule on average", sp.MeanLagMS))
+		}
+	}
 
 	if !snap.ColdVsWarm.Meets50x {
 		snap.FailReasons = append(snap.FailReasons, fmt.Sprintf(
@@ -526,6 +561,83 @@ func runSustained(seconds float64) sustained {
 	st.P99Micros = micros(percentileOf(all, 0.99))
 	st.Errors = int(errCount.Load())
 	st.MeetsMillionD = st.PerSec >= 12
+	return st
+}
+
+// runScenarioPaced replays a declarative workload spec's arrival
+// stream against the service in real time: each generated arrival
+// becomes one HTTP request issued at its scheduled instant (browse →
+// mean prediction, buy → 90th-percentile prediction, anything else →
+// an exact layered solve through the batcher). One warm-up request
+// per key is issued off the clock so the pacing measures serving, not
+// cold builds.
+func runScenarioPaced(path string, seconds float64) scenarioPaced {
+	fmt.Fprintln(os.Stderr, "predload: scenario-paced phase")
+	spec, err := scenario.Load(path)
+	if err != nil {
+		fatal(err)
+	}
+	svc, srv, err := startService(nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() { srv.Close(); svc.Close() }()
+	client := srv.Client()
+	arch := workload.AppServF().Name
+	knee := int(workload.AppServF().MaxThroughputTypical * (workload.ThinkTimeMean + 1) * 0.8)
+	urlFor := func(rt workload.RequestType, i int) string {
+		n := knee/2 + i%knee
+		switch rt {
+		case workload.Browse:
+			return fmt.Sprintf("%s/v1/predict?arch=%s&clients=%d&buy_pct=%d", srv.URL, arch, n, 5*(i%3))
+		case workload.Buy:
+			return fmt.Sprintf("%s/v1/predict?arch=%s&clients=%d&percentile=0.9", srv.URL, arch, n)
+		default:
+			return fmt.Sprintf("%s/v1/predict?arch=%s&clients=%d&method=lqn", srv.URL, arch, n)
+		}
+	}
+	for i, rt := range []workload.RequestType{workload.Browse, workload.Buy, ""} {
+		if _, _, err := getPredict(client, urlFor(rt, i)); err != nil {
+			fatal(err)
+		}
+	}
+
+	st := scenarioPaced{Spec: spec.Name, Seconds: seconds}
+	pacer := scenario.NewPacer(spec, 41)
+	var lats []time.Duration
+	var lagSum float64
+	start := time.Now()
+	for {
+		a, ok := pacer.Next()
+		if !ok || a.T > seconds {
+			break
+		}
+		st.Scheduled++
+		due := start.Add(time.Duration(a.T * float64(time.Second)))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		} else {
+			lagSum += -d.Seconds()
+		}
+		reqStart := time.Now()
+		_, code, err := getPredict(client, urlFor(a.Type, st.Scheduled))
+		if err != nil || code != http.StatusOK {
+			st.Errors++
+			continue
+		}
+		st.Issued++
+		lats = append(lats, time.Since(reqStart))
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		st.PerSec = float64(st.Issued) / elapsed
+	}
+	if st.Scheduled > 0 {
+		st.MeanLagMS = 1000 * lagSum / float64(st.Scheduled)
+	}
+	st.P50Micros = micros(percentileOf(lats, 0.50))
+	st.P99Micros = micros(percentileOf(lats, 0.99))
+	st.OnPace = st.MeanLagMS < 100
 	return st
 }
 

@@ -14,6 +14,7 @@
 //	rmsim slacks [-from 1.1 -to 0 -step 0.1]  # figure 7
 //	rmsim minzero                             # minimum 0%-failure slack
 //	rmsim fleet  [-pools 8] [-shards 4] [-scorer affinity] [-clients 200]
+//	             [-scenario spec.json]   # spec-driven time-varying load
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"perfpred/internal/fleet"
 	"perfpred/internal/lqn"
 	"perfpred/internal/rm"
+	"perfpred/internal/scenario"
 	"perfpred/internal/workload"
 )
 
@@ -47,6 +49,7 @@ func main() {
 	clients := fs.Int("clients", 200, "clients per pool for 'fleet'")
 	duration := fs.Float64("duration", 30, "measured simulated seconds for 'fleet'")
 	replan := fs.Float64("replan", 2, "replan period in simulated seconds for 'fleet' (0 disables)")
+	scenarioPath := fs.String("scenario", "", "drive 'fleet' with a declarative workload spec (JSON file) instead of -clients")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
 	}
@@ -54,7 +57,7 @@ func main() {
 	if cmd == "fleet" {
 		// The in-loop study needs no §9.1 calibration: the replanner
 		// predicts with warm-started LQN solves directly.
-		runFleet(*pools, *shards, *scorer, *clients, *duration, *replan, *seed)
+		runFleet(*pools, *shards, *scorer, *clients, *duration, *replan, *seed, *scenarioPath)
 		return
 	}
 
@@ -117,8 +120,10 @@ func benchSetup(s *bench.Suite) (pred, truth rm.Predictor, servers []rm.Server, 
 
 // runFleet executes one in-loop fleet run: scorer-routed requests over
 // a heterogeneous pool set, Algorithm 1 replanning inside the
-// simulation against warm-started LQN predictions.
-func runFleet(pools, shards int, scorerName string, clients int, duration, replan float64, seed int64) {
+// simulation against warm-started LQN predictions. With a scenario
+// path the pools carry the spec's time-varying traffic instead of the
+// fixed -clients closed population.
+func runFleet(pools, shards int, scorerName string, clients int, duration, replan float64, seed int64, scenarioPath string) {
 	sc, err := fleet.ScorerByName(scorerName)
 	if err != nil {
 		fatal(err)
@@ -141,6 +146,14 @@ func runFleet(pools, shards int, scorerName string, clients int, duration, repla
 		MaxRTSamples: 1000,
 		Scorer:       sc,
 	}
+	if scenarioPath != "" {
+		spec, err := scenario.Load(scenarioPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Load = nil
+		cfg.Scenario = spec
+	}
 	if replan > 0 {
 		pred, err := rm.NewLQNPredictor(archs, cfg.DB, cfg.Demands,
 			workload.BrowseClass(0.300), lqn.Options{})
@@ -160,13 +173,20 @@ func runFleet(pools, shards int, scorerName string, clients int, duration, repla
 	if res.Decisions > 0 {
 		remotePct = 100 * float64(res.Remote) / float64(res.Decisions)
 	}
-	fmt.Printf("scorer=%s pools=%d shards=%d clients=%d (%d/pool) seed=%d\n",
-		res.Scorer, pools, shards, clients*pools, clients, seed)
+	load := cfg.Load
+	if cfg.Scenario != nil {
+		load = cfg.Scenario.Workload()
+		fmt.Printf("scorer=%s pools=%d shards=%d scenario=%s seed=%d\n",
+			res.Scorer, pools, shards, cfg.Scenario.Name, seed)
+	} else {
+		fmt.Printf("scorer=%s pools=%d shards=%d clients=%d (%d/pool) seed=%d\n",
+			res.Scorer, pools, shards, clients*pools, clients, seed)
+	}
 	fmt.Printf("decisions=%d remote=%.1f%% barriers=%d replans=%d affinity-changes=%d wall=%.2fs\n",
 		res.Decisions, remotePct, res.Barriers, res.Replans, res.AffinityChanges, res.Wall.Seconds())
 	if len(res.EstimatedClients) > 0 {
 		fmt.Printf("last plan's client estimates:")
-		for i, pop := range cfg.Load {
+		for i, pop := range load {
 			fmt.Printf(" %s=%d (configured %d)", pop.Class.Name, res.EstimatedClients[i], pop.Clients*pools)
 		}
 		fmt.Println()
@@ -174,7 +194,7 @@ func runFleet(pools, shards int, scorerName string, clients int, duration, repla
 	fmt.Printf("mean RT %.1f ms  throughput %.1f/s  events %d\n",
 		res.Trade.MeanRT*1000, res.Trade.Throughput, res.Trade.EventsFired)
 	fmt.Println("class    completed  meanRT(ms)  goal(ms)")
-	for _, pop := range cfg.Load {
+	for _, pop := range load {
 		c := res.Trade.PerClass[pop.Class.Name]
 		fmt.Printf("%-8s %9d  %10.1f  %8.0f\n",
 			pop.Class.Name, c.Completed, c.MeanRT*1000, pop.Class.GoalRT*1000)

@@ -1,0 +1,471 @@
+// Command scenariobench is the transient-error study: it drives the
+// declarative scenario subsystem (internal/scenario) through the
+// simulated testbed and scores the paper's three predictors —
+// historical (HYDRA), layered queuing and hybrid — window by window
+// against simulated truth under load none of them was built for: a
+// flash-sale spike that ramps the arrival rate through and past
+// saturation.
+//
+// The steady-state methods see only each window's mean offered rate;
+// the simulator sees the full time-varying process, including the
+// backlog carried between windows. The per-window error table
+// quantifies exactly what the steady-state assumption costs during
+// ramps, overload and drain — and verifies that in genuinely steady
+// windows the predictors recover their published accuracy.
+//
+// The snapshot also re-asserts the subsystem's contracts end to end:
+// a constant-rate spec must reproduce the legacy simulator's numbers
+// bit for bit, fixed-seed spec-driven fleet runs must be identical at
+// 1, 2 and 4 shards, and generated MMPP/diurnal traffic must pass the
+// burstiness self-check against its own spec.
+//
+// Usage:
+//
+//	scenariobench [-quick] [-seed 17] [-window 30] [-out BENCH_scenario.json]
+//	              [-flash examples/scenarios/flashsale.json]
+//	              [-diurnal examples/scenarios/diurnal.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"perfpred/internal/bench"
+	"perfpred/internal/hist"
+	"perfpred/internal/hybrid"
+	"perfpred/internal/scenario"
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
+)
+
+// predCell is one predictor's verdict for one window.
+type predCell struct {
+	// RTMillis is the predicted mean response time; 0 when saturated.
+	RTMillis float64 `json:"rt_ms"`
+	// ErrPct is the relative error against the window's simulated
+	// truth, percent; 0 when saturated or the window saw no traffic.
+	ErrPct float64 `json:"err_pct"`
+	// Saturated marks windows whose offered rate the model has no
+	// steady state for (fixed point diverged / solver refused).
+	Saturated bool `json:"saturated,omitempty"`
+}
+
+// windowRow is one window of the transient table.
+type windowRow struct {
+	Start       float64  `json:"start_s"`
+	End         float64  `json:"end_s"`
+	OfferedRate float64  `json:"offered_rate_per_s"`
+	Completed   int      `json:"completed"`
+	TruthRTMs   float64  `json:"truth_rt_ms"`
+	TruthX      float64  `json:"truth_throughput_per_s"`
+	Hydra       predCell `json:"hydra"`
+	LQN         predCell `json:"lqn"`
+	Hybrid      predCell `json:"hybrid"`
+}
+
+type steadyCheck struct {
+	Clients      int     `json:"clients"`
+	TruthRTMs    float64 `json:"truth_rt_ms"`
+	HydraErrPct  float64 `json:"hydra_err_pct"`
+	LQNErrPct    float64 `json:"lqn_err_pct"`
+	HybridErrPct float64 `json:"hybrid_err_pct"`
+	TolerancePct float64 `json:"tolerance_pct"`
+	// LegacyExact reports that the constant scenario reproduced the
+	// legacy Load-configured run bit for bit.
+	LegacyExact bool `json:"legacy_exact"`
+	Pass        bool `json:"pass"`
+}
+
+type determinismCheck struct {
+	Pools       int    `json:"pools"`
+	ShardCounts []int  `json:"shard_counts"`
+	Fingerprint string `json:"fingerprint"`
+	Pass        bool   `json:"pass"`
+}
+
+type snapshot struct {
+	Note        string                 `json:"note"`
+	Cores       int                    `json:"cores"`
+	Seed        int64                  `json:"seed"`
+	Quick       bool                   `json:"quick,omitempty"`
+	Scenario    string                 `json:"scenario"`
+	WindowSecs  float64                `json:"window_s"`
+	Windows     []windowRow            `json:"windows"`
+	Steady      steadyCheck            `json:"steady"`
+	Determinism determinismCheck       `json:"determinism"`
+	SelfCheck   []scenario.BurstReport `json:"self_check"`
+	WallSeconds float64                `json:"wall_seconds"`
+	AllPass     bool                   `json:"all_pass"`
+	FailReasons []string               `json:"fail_reasons,omitempty"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "smoke mode: shorter runs, coarser checks")
+	seed := flag.Int64("seed", 17, "seed for calibration and scenario runs")
+	window := flag.Float64("window", 30, "transient window width, seconds")
+	out := flag.String("out", "BENCH_scenario.json", "snapshot path ('-' for stdout)")
+	flashPath := flag.String("flash", "examples/scenarios/flashsale.json", "flash-sale spec file")
+	diurnalPath := flag.String("diurnal", "examples/scenarios/diurnal.json", "diurnal spec file for the burstiness self-check")
+	flag.Parse()
+
+	start := time.Now()
+	snap := &snapshot{
+		Note: "Declarative-scenario transient-error study: per-window prediction error of the historical (HYDRA), " +
+			"layered-queuing and hybrid methods against simulated truth across a flash-sale spike, with a " +
+			"steady-window consistency check against the predictors' published regime, a 1/2/4-shard determinism " +
+			"fingerprint of a spec-driven fleet, and generated-traffic burstiness self-checks.",
+		Cores:      runtime.NumCPU(),
+		Seed:       *seed,
+		Quick:      *quick,
+		WindowSecs: *window,
+	}
+	fail := func(format string, args ...any) {
+		snap.FailReasons = append(snap.FailReasons, fmt.Sprintf(format, args...))
+	}
+
+	arch := workload.AppServF()
+	suite := bench.NewSuite(*seed)
+	if *quick {
+		suite.Opt.WarmUp, suite.Opt.Duration = 10, 40
+	}
+	fmt.Fprintln(os.Stderr, "scenariobench: calibrating predictors (historical, LQN, hybrid)...")
+	histM, err := suite.HistModel(arch)
+	if err != nil {
+		fatal("historical calibration: %v", err)
+	}
+	hybridM, err := suite.Hybrid()
+	if err != nil {
+		fatal("hybrid build: %v", err)
+	}
+
+	// --- Phase 1: flash-sale transient table -------------------------
+	flash, err := scenario.Load(*flashPath)
+	if err != nil {
+		fatal("loading flash spec: %v", err)
+	}
+	snap.Scenario = flash.Name
+	duration := 420.0
+	if *quick {
+		duration = 300
+	}
+	fmt.Fprintf(os.Stderr, "scenariobench: simulating %s over %.0fs...\n", flash.Name, duration)
+	cfg := trade.Config{
+		Server:   arch,
+		DB:       workload.CaseStudyDB(),
+		Demands:  workload.CaseStudyDemands(),
+		Scenario: flash,
+		Seed:     *seed,
+		Duration: duration,
+	}
+	points, err := trade.Windows(cfg, *window)
+	if err != nil {
+		fatal("windowed run: %v", err)
+	}
+	sawSaturated := false
+	for _, p := range points {
+		row := windowRow{
+			Start:       p.Start,
+			End:         p.End,
+			OfferedRate: flash.MeanOfferedRate(p.Start, p.End),
+			Completed:   p.Completed,
+			TruthRTMs:   1000 * p.MeanRT,
+			TruthX:      p.Throughput,
+		}
+		row.Hydra = predictFixedPoint(row.OfferedRate, p.MeanRT, histM.Predict)
+		row.Hybrid = predictFixedPoint(row.OfferedRate, p.MeanRT, func(n float64) float64 {
+			rt, err := hybridM.Predict(arch.Name, n)
+			if err != nil {
+				return math.NaN()
+			}
+			return rt
+		})
+		row.LQN = predictLQN(suite, arch, flash, row.OfferedRate, p.MeanRT)
+		if row.Hydra.Saturated || row.LQN.Saturated || row.Hybrid.Saturated {
+			sawSaturated = true
+		}
+		snap.Windows = append(snap.Windows, row)
+	}
+	if len(snap.Windows) < 3 {
+		fail("transient table has only %d windows", len(snap.Windows))
+	} else {
+		basePeakSanity(snap, fail)
+	}
+	if !sawSaturated {
+		fail("flash peak never saturated any predictor — the spike is not stressing the models")
+	}
+
+	// --- Phase 2: steady-window consistency --------------------------
+	fmt.Fprintln(os.Stderr, "scenariobench: steady-window consistency check...")
+	snap.Steady = steadyConsistency(suite, arch, histM, hybridM, *seed, *quick, fail)
+
+	// --- Phase 3: shard-determinism fingerprint ----------------------
+	fmt.Fprintln(os.Stderr, "scenariobench: 1/2/4-shard determinism fingerprint...")
+	snap.Determinism = shardDeterminism(*seed, *quick, fail)
+
+	// --- Phase 4: burstiness self-check ------------------------------
+	fmt.Fprintln(os.Stderr, "scenariobench: generated-traffic burstiness self-check...")
+	diurnal, err := scenario.Load(*diurnalPath)
+	if err != nil {
+		fatal("loading diurnal spec: %v", err)
+	}
+	horizon := 5000.0
+	if *quick {
+		horizon = 1500
+	}
+	snap.SelfCheck = scenario.SelfCheck(diurnal, *seed, horizon)
+	for _, r := range snap.SelfCheck {
+		if !r.OK {
+			fail("self-check %s (%s): %s", r.Cohort, r.Kind, r.Reason)
+		}
+	}
+
+	snap.WallSeconds = time.Since(start).Seconds()
+	snap.AllPass = len(snap.FailReasons) == 0
+	writeSnapshot(snap, *out)
+	if !snap.AllPass {
+		fmt.Fprintf(os.Stderr, "scenariobench: FAILED: %v\n", snap.FailReasons)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "scenariobench: all checks passed in %.1fs\n", snap.WallSeconds)
+}
+
+// predictFixedPoint maps an offered rate onto a clients→RT model.
+// The historical and hybrid curves are calibrated on closed clients
+// cycling with think time Z, so by the interactive response-time law
+// a population N delivers throughput N/(R(N)+Z); the closed
+// population equivalent to an offered rate λ is the fixed point
+// N = λ·(R(N)+Z). Divergence (λ above the curve's saturation
+// throughput) means the model has no steady state at that rate — the
+// window is saturated for this predictor.
+func predictFixedPoint(lambda, truth float64, rt func(float64) float64) predCell {
+	const think = workload.ThinkTimeMean
+	if lambda <= 0 {
+		return predCell{}
+	}
+	n := 0.0
+	for i := 0; i < 500; i++ {
+		r := rt(n)
+		if math.IsNaN(r) || r <= 0 {
+			return predCell{Saturated: true}
+		}
+		next := lambda * (r + think)
+		if next > 1e7 {
+			return predCell{Saturated: true}
+		}
+		if math.Abs(next-n) < 1e-9*(1+n) {
+			n = next
+			break
+		}
+		n = 0.5*n + 0.5*next // damped iteration
+	}
+	pred := rt(n)
+	if math.IsNaN(pred) || pred <= 0 {
+		return predCell{Saturated: true}
+	}
+	return predCell{RTMillis: 1000 * pred, ErrPct: errPct(pred, truth)}
+}
+
+// predictLQN solves the layered model with the window's offered rate
+// as an open class carrying the scenario's request mix. A solver
+// error or non-convergence marks the window saturated.
+func predictLQN(suite *bench.Suite, arch workload.ServerArch, sc *scenario.Compiled, lambda, truth float64) predCell {
+	if lambda <= 0 {
+		return predCell{}
+	}
+	// The flash scenario has one open cohort; its class carries the mix.
+	class := sc.Cohorts[0].Class
+	class.ThinkTimeMean = 0
+	res, err := suite.LQNPredict(arch, workload.OpenWorkload(class, lambda))
+	if err != nil || !res.Converged {
+		return predCell{Saturated: true}
+	}
+	pred := res.MeanResponseTime()
+	if pred <= 0 {
+		return predCell{Saturated: true}
+	}
+	return predCell{RTMillis: 1000 * pred, ErrPct: errPct(pred, truth)}
+}
+
+func errPct(pred, truth float64) float64 {
+	if truth <= 0 {
+		return 0
+	}
+	return 100 * (pred - truth) / truth
+}
+
+// basePeakSanity asserts the simulated truth actually shows the
+// transient the spec declares: the hold window must carry more
+// traffic and a worse response time than the pre-flash baseline.
+func basePeakSanity(snap *snapshot, fail func(string, ...any)) {
+	var base, peak *windowRow
+	for i := range snap.Windows {
+		w := &snap.Windows[i]
+		if base == nil || (w.End <= 120 && w.OfferedRate <= base.OfferedRate) {
+			if w.End <= 120 {
+				base = w
+			}
+		}
+		if peak == nil || w.OfferedRate > peak.OfferedRate {
+			peak = w
+		}
+	}
+	if base == nil || peak == nil {
+		fail("could not locate baseline/peak windows")
+		return
+	}
+	if peak.TruthX <= base.TruthX {
+		fail("peak window throughput %.1f/s not above baseline %.1f/s", peak.TruthX, base.TruthX)
+	}
+	if peak.TruthRTMs <= base.TruthRTMs {
+		fail("peak window truth RT %.2fms not above baseline %.2fms", peak.TruthRTMs, base.TruthRTMs)
+	}
+}
+
+// steadyConsistency pins the subsystem to the predictors' home
+// ground: a constant closed-cohort spec must (a) reproduce the
+// legacy Load-configured run bit for bit and (b) land every
+// predictor within tolerance of simulated truth, exactly as the
+// steady-state experiments do.
+func steadyConsistency(suite *bench.Suite, arch workload.ServerArch, histM *hist.ServerModel, hybridM *hybrid.Model, seed int64, quick bool, fail func(string, ...any)) steadyCheck {
+	clients := 900
+	tol := 25.0
+	if quick {
+		// Quick mode calibrates the predictors on short runs; allow
+		// the extra calibration noise.
+		tol = 45
+	}
+	sc, err := scenario.New("steady").
+		AddClosed("browse", clients, scenario.Exponential(workload.ThinkTimeMean), map[string]float64{"browse": 1}).
+		Compile("")
+	if err != nil {
+		fatal("steady spec: %v", err)
+	}
+	cfg := trade.Config{
+		Server:   arch,
+		DB:       workload.CaseStudyDB(),
+		Demands:  workload.CaseStudyDemands(),
+		Scenario: sc,
+		Seed:     seed,
+		WarmUp:   suite.Opt.WarmUp,
+		Duration: suite.Opt.Duration,
+	}
+	truthRes, err := trade.Run(cfg)
+	if err != nil {
+		fatal("steady scenario run: %v", err)
+	}
+	legacy := cfg
+	legacy.Scenario = nil
+	legacy.Load = workload.TypicalWorkload(clients)
+	legacyRes, err := trade.Run(legacy)
+	if err != nil {
+		fatal("steady legacy run: %v", err)
+	}
+	out := steadyCheck{
+		Clients:      clients,
+		TruthRTMs:    1000 * truthRes.MeanRT,
+		TolerancePct: tol,
+		LegacyExact:  truthRes.MeanRT == legacyRes.MeanRT && truthRes.Throughput == legacyRes.Throughput && truthRes.EventsFired == legacyRes.EventsFired,
+	}
+	if !out.LegacyExact {
+		fail("constant scenario diverged from legacy run: meanRT %v vs %v, events %d vs %d",
+			truthRes.MeanRT, legacyRes.MeanRT, truthRes.EventsFired, legacyRes.EventsFired)
+	}
+	truth := truthRes.MeanRT
+	out.HydraErrPct = errPct(histM.Predict(float64(clients)), truth)
+	if hy, err := hybridM.Predict(arch.Name, float64(clients)); err == nil {
+		out.HybridErrPct = errPct(hy, truth)
+	} else {
+		fail("hybrid steady predict: %v", err)
+	}
+	if res, err := suite.LQNPredict(arch, workload.TypicalWorkload(clients)); err == nil {
+		out.LQNErrPct = errPct(res.MeanResponseTime(), truth)
+	} else {
+		fail("lqn steady predict: %v", err)
+	}
+	out.Pass = math.Abs(out.HydraErrPct) <= tol && math.Abs(out.LQNErrPct) <= tol && math.Abs(out.HybridErrPct) <= tol
+	if !out.Pass {
+		fail("steady-window predictor errors exceed %.0f%%: hydra %.1f%%, lqn %.1f%%, hybrid %.1f%%",
+			tol, out.HydraErrPct, out.LQNErrPct, out.HybridErrPct)
+	}
+	return out
+}
+
+// shardDeterminism runs one spec-driven fleet (closed lognormal
+// cohort + diurnal Poisson + MMPP) at 1, 2 and 4 shards and demands
+// identical per-class statistics and event counts.
+func shardDeterminism(seed int64, quick bool, fail func(string, ...any)) determinismCheck {
+	sc, err := scenario.New("determinism").
+		AddClosed("shoppers", 120, scenario.Lognormal(workload.ThinkTimeMean, 1.5), map[string]float64{"browse": 0.75, "buy": 0.25}).
+		AddPoisson("portal", 20, map[string]float64{"browse": 1}).
+		Pattern(scenario.Diurnal(60, 0.5, 0)).
+		AddMMPP("spikes", []scenario.MMPPStateSpec{{Rate: 2, MeanDwell: 20}, {Rate: 30, MeanDwell: 4}}, map[string]float64{"buy": 1}).
+		Compile("")
+	if err != nil {
+		fatal("determinism spec: %v", err)
+	}
+	duration := 60.0
+	if quick {
+		duration = 20
+	}
+	out := determinismCheck{Pools: 4, ShardCounts: []int{1, 2, 4}, Pass: true}
+	var ref string
+	for _, shards := range out.ShardCounts {
+		cfg := trade.Config{
+			Server:       workload.AppServF(),
+			DB:           workload.CaseStudyDB(),
+			Demands:      workload.CaseStudyDemands(),
+			Scenario:     sc,
+			Seed:         seed,
+			WarmUp:       10,
+			Duration:     duration,
+			MaxRTSamples: 64,
+			Pools:        4,
+			Shards:       shards,
+		}
+		res, err := trade.Run(cfg)
+		if err != nil {
+			fatal("determinism run (shards=%d): %v", shards, err)
+		}
+		fp := fmt.Sprintf("events=%d", res.EventsFired)
+		for _, name := range []string{"portal", "shoppers", "spikes"} {
+			cr := res.PerClass[name]
+			fp += fmt.Sprintf(" %s:%d:%.17g:%.17g", name, cr.Completed, cr.MeanRT, cr.RTStdDev)
+		}
+		if ref == "" {
+			ref = fp
+			out.Fingerprint = fp
+			continue
+		}
+		if fp != ref {
+			out.Pass = false
+			fail("shard determinism broken at %d shards:\n  ref %s\n  got %s", shards, ref, fp)
+		}
+	}
+	return out
+}
+
+func writeSnapshot(snap *snapshot, out string) {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal("encoding snapshot: %v", err)
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal("writing snapshot: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "scenariobench: wrote %s\n", out)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scenariobench: "+format+"\n", args...)
+	os.Exit(1)
+}

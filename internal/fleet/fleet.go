@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"perfpred/internal/rm"
+	"perfpred/internal/scenario"
 	"perfpred/internal/trade"
 	"perfpred/internal/workload"
 )
@@ -49,6 +50,13 @@ type Config struct {
 	// populations (fleet totals are per-class Clients × Pools). Class
 	// GoalRT values drive the replanner.
 	Load workload.Workload
+	// Scenario, when non-nil, replaces Load with a compiled declarative
+	// scenario (internal/scenario): every pool carries the scenario's
+	// cohorts, so the fleet replans under the time-varying load the
+	// spec declares. The router and replanner see the scenario's
+	// derived workload (stationary rates for open cohorts). Mutually
+	// exclusive with Load.
+	Scenario *scenario.Compiled
 	// Seed fixes all random streams.
 	Seed int64
 	// WarmUp is the simulated ramp (seconds) discarded before
@@ -95,12 +103,19 @@ func (c Config) validate() error {
 	if c.ReplanPeriod < 0 {
 		return errors.New("fleet: replan period must be non-negative")
 	}
+	if c.Scenario != nil && len(c.Load) > 0 {
+		return errors.New("fleet: Scenario and Load are mutually exclusive")
+	}
 	if c.ReplanPeriod > 0 {
 		if c.Replanner == nil {
 			return errors.New("fleet: ReplanPeriod needs a Replanner")
 		}
-		seen := make(map[string]bool, len(c.Load))
-		for _, pop := range c.Load {
+		load := c.Load
+		if c.Scenario != nil {
+			load = c.Scenario.Workload()
+		}
+		seen := make(map[string]bool, len(load))
+		for _, pop := range load {
 			if pop.Class.GoalRT <= 0 {
 				return fmt.Errorf("fleet: class %q needs a positive GoalRT to be replanned", pop.Class.Name)
 			}
@@ -146,6 +161,14 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Scenario != nil {
+		// Materialise the scenario's derived workload into the local copy
+		// so router sizing and the replanner's Little's-law bookkeeping
+		// work off the same class list the pools register; the trade
+		// config below still carries the scenario itself, which drives
+		// the actual (time-varying) arrivals.
+		cfg.Load = cfg.Scenario.Workload()
+	}
 	scorer := cfg.Scorer
 	if scorer == nil {
 		scorer = Static{}
@@ -189,6 +212,10 @@ func Run(cfg Config) (*Result, error) {
 		ShardLatency: cfg.Latency,
 		Router:       router,
 		BarrierHook:  hook,
+	}
+	if cfg.Scenario != nil {
+		tcfg.Load = nil
+		tcfg.Scenario = cfg.Scenario
 	}
 	start := time.Now()
 	run, err := trade.NewSharded(tcfg)

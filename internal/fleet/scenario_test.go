@@ -1,0 +1,62 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"perfpred/internal/scenario"
+)
+
+// fleetScenario declares a closed cohort with an SLA goal (so the
+// replanner has something to plan for) plus a bursty open cohort —
+// the time-varying load the in-loop resource manager must replan
+// under.
+func fleetScenario(t testing.TB) *scenario.Compiled {
+	t.Helper()
+	c, err := scenario.New("fleet-scenario").
+		AddClosed("buy", 6, scenario.Exponential(7), map[string]float64{"buy": 1}).Goal(0.150).
+		AddClosed("browse", 30, scenario.Lognormal(7, 1.2), map[string]float64{"browse": 1}).Goal(0.600).
+		AddMMPP("burst", []scenario.MMPPStateSpec{{Rate: 1, MeanDwell: 3}, {Rate: 12, MeanDwell: 1}},
+			map[string]float64{"browse": 1}).Goal(0.600).
+		Compile("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFleetScenarioMutuallyExclusiveWithLoad(t *testing.T) {
+	cfg := testConfig(3, 2, nil)
+	cfg.Scenario = fleetScenario(t)
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("Scenario+Load accepted: %v", err)
+	}
+}
+
+// A scenario-driven fleet with in-loop replanning must run, replan,
+// and stay deterministic across shard counts — the replanner sees the
+// scenario's derived workload while the pools carry its time-varying
+// arrivals.
+func TestFleetScenarioReplanDeterministicAcrossShards(t *testing.T) {
+	base := withReplanning(t, testConfig(3, 1, QueueDepth{}))
+	base.Load = nil
+	base.Scenario = fleetScenario(t)
+
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Replans == 0 {
+		t.Fatal("scenario fleet run never replanned")
+	}
+	if a.Trade.PerClass["burst"].Completed == 0 {
+		t.Fatal("MMPP cohort produced no completions")
+	}
+	cfg := base
+	cfg.Shards = 3
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameFleetResult(t, "scenario shards=3 vs 1", a, b)
+}

@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"math"
+
+	"perfpred/internal/sim"
+)
+
+// Dist is a compiled positive-valued distribution. Sample draws from
+// the given stream; a nil *Dist is not valid (compile always produces
+// one for cohorts that need it).
+type Dist struct {
+	kind string
+	mean float64
+	// lognormal parameters: exp(mu + sigma·Z) with Z standard normal.
+	mu, sigma float64
+}
+
+func compileDist(d *DistSpec) *Dist {
+	c := &Dist{kind: d.Dist, mean: d.Mean}
+	if d.Dist == DistLognormal {
+		// Match the spec's mean and CV: sigma² = ln(1+CV²),
+		// mu = ln(mean) − sigma²/2.
+		s2 := math.Log(1 + d.CV*d.CV)
+		c.sigma = math.Sqrt(s2)
+		c.mu = math.Log(d.Mean) - s2/2
+	}
+	return c
+}
+
+// Mean returns the distribution mean, seconds.
+func (d *Dist) Mean() float64 { return d.mean }
+
+// Sample draws one value from the distribution using rng. It
+// allocates nothing.
+func (d *Dist) Sample(rng *sim.Stream) float64 {
+	switch d.kind {
+	case DistExponential:
+		return rng.Exp(d.mean)
+	case DistLognormal:
+		return math.Exp(d.mu + d.sigma*rng.Norm())
+	default: // deterministic
+		return d.mean
+	}
+}

@@ -1,0 +1,226 @@
+package scenario
+
+import (
+	"sort"
+
+	"perfpred/internal/sim"
+	"perfpred/internal/workload"
+)
+
+// Gen is a pull-based arrival generator for one open cohort. Next
+// returns successive arrival times; the caller owns the pacing (an
+// event engine schedules them, a load driver sleeps until them). Gen
+// holds all mutable state, so one read-only Cohort can drive any
+// number of independent generators — one per shard-pool replica, each
+// on its own sim.Split stream, which is what makes spec-driven runs
+// bit-identical at any shard count.
+//
+// Next allocates nothing: time-varying rates use Lewis–Shedler
+// thinning against the cohort's MaxRate envelope, MMPP modulation
+// advances its state chain lazily from a second stream, and trace
+// replay walks the loaded events in place.
+type Gen struct {
+	c *Cohort
+	// arr draws candidate gaps and thinning accept/reject uniforms.
+	arr *sim.Stream
+	// state draws MMPP dwell times; separate from arr so the arrival
+	// count cannot perturb the modulating chain.
+	state *sim.Stream
+
+	t float64 // last candidate arrival time
+
+	// MMPP state chain, advanced lazily to cover t.
+	stateIdx   int
+	stateUntil float64
+
+	// trace replay cursor.
+	idx       int
+	traceBase float64 // accumulated loop offset
+}
+
+// NewGen returns a generator for the open cohort c. arr paces the
+// arrivals; state paces MMPP modulation (unused but required for the
+// other kinds, so stream layouts stay uniform across cohorts). It
+// panics on a closed cohort — closed populations are driven by their
+// clients' think loops, not by a generator.
+func NewGen(c *Cohort, arr, state *sim.Stream) *Gen {
+	if !c.Open() {
+		panic("scenario: NewGen on closed cohort " + c.Class.Name)
+	}
+	g := &Gen{c: c, arr: arr, state: state}
+	if c.Kind == ProcMMPP {
+		g.stateUntil = state.Exp(c.States[0].MeanDwell)
+	}
+	return g
+}
+
+// Cohort returns the cohort the generator draws from.
+func (g *Gen) Cohort() *Cohort { return g.c }
+
+// Next returns the next arrival: its absolute time and its request
+// type. A zero ("") type means the caller samples the cohort's mix;
+// trace replay returns the recorded type. ok is false when the
+// process is exhausted (a non-looping trace ran out), after which
+// Next keeps returning false.
+func (g *Gen) Next() (t float64, rt workload.RequestType, ok bool) {
+	switch g.c.Kind {
+	case ProcTrace:
+		return g.nextTrace()
+	case ProcPoisson, ProcMMPP:
+		return g.nextThinned(), "", true
+	}
+	return 0, "", false
+}
+
+// nextThinned samples the next arrival of a (possibly modulated)
+// rate process by thinning: candidate gaps come from a homogeneous
+// Poisson process at the MaxRate envelope, and each candidate is
+// accepted with probability rate(t)/MaxRate. Validation guarantees
+// the loop terminates: every process recurs to a positive rate (a
+// finished piecewise schedule reverts to scale 1, diurnal amplitude
+// is capped at 1, and an MMPP chain revisits its positive-rate
+// state), so acceptances cannot die out.
+func (g *Gen) nextThinned() float64 {
+	env := g.c.MaxRate
+	mean := 1 / env
+	for {
+		g.t += g.arr.Exp(mean)
+		rate := g.instRate(g.t)
+		// Draw the accept uniform unconditionally — even when the
+		// candidate is sure to be accepted or rejected — so the arrival
+		// stream's draw count per candidate is fixed and replays exactly.
+		if g.arr.Float64()*env < rate {
+			return g.t
+		}
+	}
+}
+
+// instRate is the instantaneous rate at time t, advancing the MMPP
+// state chain as far as needed.
+func (g *Gen) instRate(t float64) float64 {
+	base := g.c.BaseRate
+	if g.c.Kind == ProcMMPP {
+		for t >= g.stateUntil {
+			g.stateIdx++
+			if g.stateIdx == len(g.c.States) {
+				g.stateIdx = 0
+			}
+			g.stateUntil += g.state.Exp(g.c.States[g.stateIdx].MeanDwell)
+		}
+		base = g.c.States[g.stateIdx].Rate
+	}
+	return base * g.c.Pattern.Scale(t)
+}
+
+func (g *Gen) nextTrace() (float64, workload.RequestType, bool) {
+	tr := g.c.Trace
+	if g.idx == len(tr.Events) {
+		if !tr.Loop {
+			return 0, "", false
+		}
+		g.traceBase += tr.Cycle
+		g.idx = 0
+	}
+	ev := tr.Events[g.idx]
+	g.idx++
+	return g.traceBase + ev.T, ev.Type, true
+}
+
+// mixSampler samples request types from a cohort mix with a stable
+// (sorted-name) category order, so draws are reproducible regardless
+// of map iteration order.
+type mixSampler struct {
+	types   []workload.RequestType
+	weights []float64
+}
+
+func newMixSampler(mix workload.Mix) *mixSampler {
+	m := &mixSampler{}
+	for rt := range mix {
+		m.types = append(m.types, rt)
+	}
+	sort.Slice(m.types, func(i, j int) bool { return m.types[i] < m.types[j] })
+	for _, rt := range m.types {
+		m.weights = append(m.weights, mix[rt])
+	}
+	return m
+}
+
+func (m *mixSampler) sample(rng *sim.Stream) workload.RequestType {
+	return m.types[rng.Choose(m.weights)]
+}
+
+// Pacer merges every open cohort of a scenario into one time-ordered
+// arrival stream — the shape a load driver (cmd/predload) or an
+// analysis pass (SelfCheck) consumes. Each cohort gets sim.Split
+// streams keyed by its index, so the merged stream is reproducible
+// and independent of how many cohorts precede it.
+type Pacer struct {
+	gens     []*Gen
+	cohorts  []int // scenario cohort index per gen
+	samplers []*mixSampler
+	mixRNG   []*sim.Stream
+	headT    []float64
+	headRT   []workload.RequestType
+	live     []bool
+}
+
+// Arrival is one merged arrival from a Pacer.
+type Arrival struct {
+	// T is the arrival time, seconds from scenario start.
+	T float64
+	// Cohort indexes Compiled.Cohorts.
+	Cohort int
+	// Type is the sampled (or trace-recorded) request type.
+	Type workload.RequestType
+}
+
+// NewPacer builds a merged generator over the scenario's open
+// cohorts, seeded from seed. Closed cohorts are skipped — a pacer has
+// no response times to close the loop with.
+func NewPacer(c *Compiled, seed int64) *Pacer {
+	p := &Pacer{}
+	for i, co := range c.Cohorts {
+		if !co.Open() {
+			continue
+		}
+		arr := sim.NewStream(sim.SplitSeed(seed, uint64(3*i)))
+		state := sim.NewStream(sim.SplitSeed(seed, uint64(3*i+1)))
+		p.gens = append(p.gens, NewGen(co, arr, state))
+		p.cohorts = append(p.cohorts, i)
+		p.samplers = append(p.samplers, newMixSampler(co.Class.Mix))
+		p.mixRNG = append(p.mixRNG, sim.NewStream(sim.SplitSeed(seed, uint64(3*i+2))))
+		p.headT = append(p.headT, 0)
+		p.headRT = append(p.headRT, "")
+		p.live = append(p.live, false)
+	}
+	for i := range p.gens {
+		p.advance(i)
+	}
+	return p
+}
+
+func (p *Pacer) advance(i int) {
+	t, rt, ok := p.gens[i].Next()
+	p.headT[i], p.headRT[i], p.live[i] = t, rt, ok
+}
+
+// Next returns the earliest pending arrival across cohorts, or
+// ok=false when every stream is exhausted.
+func (p *Pacer) Next() (a Arrival, ok bool) {
+	best := -1
+	for i := range p.gens {
+		if p.live[i] && (best < 0 || p.headT[i] < p.headT[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Arrival{}, false
+	}
+	a = Arrival{T: p.headT[best], Cohort: p.cohorts[best], Type: p.headRT[best]}
+	if a.Type == "" {
+		a.Type = p.samplers[best].sample(p.mixRNG[best])
+	}
+	p.advance(best)
+	return a, true
+}

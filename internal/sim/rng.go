@@ -93,6 +93,11 @@ func (s *Stream) Exp(mean float64) float64 {
 	return -mean * math.Log(1-s.r.Float64())
 }
 
+// Norm returns a standard normal draw (mean 0, standard deviation 1)
+// from the stream's underlying generator. The scenario layer's
+// lognormal think-time distributions exponentiate it.
+func (s *Stream) Norm() float64 { return s.r.NormFloat64() }
+
 // Choose returns an index in [0,len(weights)) drawn with the given
 // relative weights, used to pick a client's next operation from the
 // Trade mix. It panics when weights is empty or sums to a non-positive

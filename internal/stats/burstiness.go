@@ -1,0 +1,65 @@
+package stats
+
+// Interarrival-burstiness estimators for arrival processes. The
+// scenario layer's self-check uses them to verify that generated
+// traffic carries the variability its spec declares: a Poisson stream
+// has squared coefficient of variation ≈ 1 and index of dispersion
+// ≈ 1, while a bursty MMPP stream is strictly over-dispersed on both
+// measures (CV² > 1 and IDC growing with the window).
+
+import "math"
+
+// InterarrivalCV2 returns the squared coefficient of variation
+// (variance over squared mean) of the gaps between consecutive
+// arrival times. times must be ascending; fewer than three arrivals
+// (two gaps) return NaN. Exponential gaps give ≈ 1, deterministic
+// gaps 0, and burstier-than-Poisson processes > 1.
+func InterarrivalCV2(times []float64) float64 {
+	if len(times) < 3 {
+		return math.NaN()
+	}
+	var acc Accumulator
+	for i := 1; i < len(times); i++ {
+		acc.Add(times[i] - times[i-1])
+	}
+	mean := acc.Mean()
+	if mean <= 0 {
+		return math.NaN()
+	}
+	sd := acc.StdDev()
+	return sd * sd / (mean * mean)
+}
+
+// IndexOfDispersion buckets the arrivals into fixed-width windows
+// spanning [times[0], times[last]] and returns the variance of the
+// per-window counts over their mean (the index of dispersion for
+// counts at that window size). A Poisson process gives ≈ 1 at every
+// window; modulated (MMPP, diurnal) processes exceed 1 once the
+// window passes the modulation timescale. Fewer than two complete
+// windows, or a non-positive window, return NaN.
+func IndexOfDispersion(times []float64, window float64) float64 {
+	if len(times) == 0 || window <= 0 {
+		return math.NaN()
+	}
+	span := times[len(times)-1] - times[0]
+	n := int(span / window)
+	if n < 2 {
+		return math.NaN()
+	}
+	var acc Accumulator
+	start, count := 0, 0
+	for w := 0; w < n; w++ {
+		hi := times[0] + float64(w+1)*window
+		count = 0
+		for start < len(times) && times[start] < hi {
+			count++
+			start++
+		}
+		acc.Add(float64(count))
+	}
+	if acc.Mean() <= 0 {
+		return math.NaN()
+	}
+	sd := acc.StdDev()
+	return sd * sd / acc.Mean()
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestInterarrivalCV2Deterministic(t *testing.T) {
+	times := make([]float64, 100)
+	for i := range times {
+		times[i] = float64(i) * 0.5
+	}
+	if cv2 := InterarrivalCV2(times); math.Abs(cv2) > 1e-12 {
+		t.Fatalf("deterministic gaps: CV² = %v, want 0", cv2)
+	}
+}
+
+func TestInterarrivalCV2Poisson(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	times := make([]float64, 0, 20000)
+	now := 0.0
+	for i := 0; i < 20000; i++ {
+		now += r.ExpFloat64()
+		times = append(times, now)
+	}
+	cv2 := InterarrivalCV2(times)
+	if cv2 < 0.9 || cv2 > 1.1 {
+		t.Fatalf("Poisson gaps: CV² = %v, want ≈ 1", cv2)
+	}
+}
+
+func TestInterarrivalCV2Bursty(t *testing.T) {
+	// On/off bursts: 50 tight arrivals then a long silence. The
+	// estimator must report strong over-dispersion.
+	var times []float64
+	now := 0.0
+	for burst := 0; burst < 40; burst++ {
+		for i := 0; i < 50; i++ {
+			now += 0.01
+			times = append(times, now)
+		}
+		now += 20
+	}
+	if cv2 := InterarrivalCV2(times); cv2 < 2 {
+		t.Fatalf("bursty gaps: CV² = %v, want ≫ 1", cv2)
+	}
+}
+
+func TestInterarrivalCV2Degenerate(t *testing.T) {
+	if !math.IsNaN(InterarrivalCV2(nil)) {
+		t.Fatal("empty times must give NaN")
+	}
+	if !math.IsNaN(InterarrivalCV2([]float64{1, 2})) {
+		t.Fatal("a single gap must give NaN")
+	}
+	if !math.IsNaN(InterarrivalCV2([]float64{1, 1, 1})) {
+		t.Fatal("zero-mean gaps must give NaN")
+	}
+}
+
+func TestIndexOfDispersionPoisson(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	times := make([]float64, 0, 50000)
+	now := 0.0
+	for i := 0; i < 50000; i++ {
+		now += r.ExpFloat64() * 0.1 // rate 10/s
+		times = append(times, now)
+	}
+	idc := IndexOfDispersion(times, 5)
+	if idc < 0.8 || idc > 1.25 {
+		t.Fatalf("Poisson counts: IDC = %v, want ≈ 1", idc)
+	}
+}
+
+func TestIndexOfDispersionDeterministic(t *testing.T) {
+	times := make([]float64, 1000)
+	for i := range times {
+		times[i] = float64(i) * 0.1
+	}
+	// Windows of exactly 10 gaps hold identical counts.
+	if idc := IndexOfDispersion(times, 1.0); idc > 0.05 {
+		t.Fatalf("deterministic counts: IDC = %v, want ≈ 0", idc)
+	}
+}
+
+func TestIndexOfDispersionBursty(t *testing.T) {
+	var times []float64
+	now := 0.0
+	for burst := 0; burst < 30; burst++ {
+		for i := 0; i < 100; i++ {
+			now += 0.01
+			times = append(times, now)
+		}
+		now += 10
+	}
+	if idc := IndexOfDispersion(times, 5); idc < 5 {
+		t.Fatalf("bursty counts: IDC = %v, want ≫ 1", idc)
+	}
+}
+
+func TestIndexOfDispersionDegenerate(t *testing.T) {
+	if !math.IsNaN(IndexOfDispersion(nil, 1)) {
+		t.Fatal("empty times must give NaN")
+	}
+	if !math.IsNaN(IndexOfDispersion([]float64{0, 1, 2}, 0)) {
+		t.Fatal("non-positive window must give NaN")
+	}
+	if !math.IsNaN(IndexOfDispersion([]float64{0, 0.1}, 1)) {
+		t.Fatal("fewer than two windows must give NaN")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"perfpred/internal/scenario"
 	"perfpred/internal/workload"
 )
 
@@ -115,6 +116,18 @@ type Config struct {
 	DB      workload.DBServer
 	Demands map[workload.RequestType]workload.Demand
 	Load    workload.Workload
+
+	// Scenario, when non-nil, replaces Load with a compiled declarative
+	// scenario: closed cohorts become client populations with their
+	// declared think-time distributions, and open cohorts (Poisson,
+	// MMPP, trace replay, with optional temporal patterns) drive
+	// spec-defined arrival generators through the pooled request
+	// lifecycle. Each cohort's generator runs on sim.Split streams keyed
+	// by its cohort index off the pool root, so spec-driven runs are
+	// bit-identical at any shard count. Mutually exclusive with Load;
+	// incompatible with DetailedOperations and the session cache (open
+	// scenario traffic carries no per-client session identity).
+	Scenario *scenario.Compiled
 
 	// Seed fixes all random streams; equal seeds give identical runs.
 	Seed int64
@@ -265,6 +278,15 @@ func (c Config) tier() []workload.ServerArch {
 	return []workload.ServerArch{c.Server}
 }
 
+// effectiveLoad resolves the workload the run carries: the scenario's
+// derived workload when a Scenario is set, the static Load otherwise.
+func (c Config) effectiveLoad() workload.Workload {
+	if c.Scenario != nil {
+		return c.Scenario.Workload()
+	}
+	return c.Load
+}
+
 // Validate reports the first structural problem with the run
 // configuration.
 func (c Config) Validate() error {
@@ -294,19 +316,31 @@ func (c Config) Validate() error {
 			return fmt.Errorf("trade: demand for %q: %w", rt, err)
 		}
 	}
-	if err := c.Load.Validate(); err != nil {
+	if c.Scenario != nil {
+		if len(c.Load) > 0 {
+			return errors.New("trade: Scenario and Load are mutually exclusive (the scenario defines the workload)")
+		}
+		if c.DetailedOperations {
+			return errors.New("trade: DetailedOperations is not supported with a Scenario")
+		}
+		if c.Cache != nil {
+			return errors.New("trade: the session cache is not supported with a Scenario (open scenario traffic has no per-client sessions)")
+		}
+	}
+	load := c.effectiveLoad()
+	if err := load.Validate(); err != nil {
 		return err
 	}
 	hasOpen := false
-	for _, p := range c.Load {
+	for _, p := range load {
 		if p.Open() {
 			hasOpen = true
 		}
 	}
-	if c.Load.TotalClients() == 0 && !hasOpen {
+	if load.TotalClients() == 0 && !hasOpen {
 		return errors.New("trade: workload has no clients or open streams")
 	}
-	for _, p := range c.Load {
+	for _, p := range load {
 		for rt := range p.Class.Mix {
 			if _, ok := c.Demands[rt]; !ok {
 				return fmt.Errorf("trade: class %q uses request type %q with no demand", p.Class.Name, rt)

@@ -210,7 +210,7 @@ func (r *reqState) finish() {
 		r.app.completed++
 	}
 	if c := r.c; c != nil {
-		s.eng.Schedule(s.think.Exp(c.class.ThinkTimeMean), c.issue)
+		s.eng.Schedule(s.thinkDelay(c), c.issue)
 	}
 	s.putReq(r)
 }

@@ -1,0 +1,167 @@
+package trade
+
+import (
+	"errors"
+	"math"
+
+	"perfpred/internal/scenario"
+	"perfpred/internal/sim"
+	"perfpred/internal/stats"
+	"perfpred/internal/workload"
+)
+
+// scenStreamBase offsets the sim.Split indices of scenario generator
+// streams off the pool root, far above any other Split consumer, so
+// cohort streams can never collide with future pool-root splits.
+// Cohort i draws arrivals from Split(base+2i) and MMPP modulation
+// from Split(base+2i+1) — pure functions of (Seed, pool, cohort), so
+// a spec-driven fleet's trajectory is identical at any shard count.
+const scenStreamBase uint64 = 1 << 20
+
+// scenGen drives one open scenario cohort through the pooled request
+// lifecycle. It mirrors startOpenStream's structure — schedule the
+// next arrival first, then build the current request on a pooled
+// reqState — with the constant-rate Poisson draw replaced by the
+// cohort's compiled generator (thinned time-varying Poisson, MMPP, or
+// trace replay). The arrive continuation is bound once at
+// registration and the generator pulls allocate nothing, so the
+// steady-state arrival path stays zero-alloc.
+type scenGen struct {
+	s       *simulator
+	gen     *scenario.Gen
+	sampler *typeSampler
+	acc     *classAcc
+	cls     int
+	pendRT  workload.RequestType // the scheduled arrival's trace type ("" = sample the mix)
+	arrive  func()
+}
+
+// startScenarioStream registers one open cohort's generator and
+// schedules its first arrival.
+func (s *simulator) startScenarioStream(co *scenario.Cohort, classIdx int, sampler *typeSampler, root *sim.Stream) {
+	g := &scenGen{
+		s: s,
+		gen: scenario.NewGen(co,
+			root.Split(scenStreamBase+uint64(2*classIdx)),
+			root.Split(scenStreamBase+uint64(2*classIdx)+1)),
+		sampler: sampler,
+		acc:     s.acc[co.Class.Name],
+		cls:     classIdx,
+	}
+	g.arrive = g.doArrive
+	g.pull()
+}
+
+// pull takes the generator's next arrival and schedules the arrive
+// continuation at its absolute time. An exhausted generator (a
+// non-looping trace that ran out) simply stops scheduling.
+func (g *scenGen) pull() {
+	t, rt, ok := g.gen.Next()
+	if !ok {
+		return
+	}
+	g.pendRT = rt
+	delay := t - g.s.eng.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	g.s.eng.Schedule(delay, g.arrive)
+}
+
+// doArrive admits one scenario arrival: schedule the successor first
+// (matching the legacy open-stream ordering, so the request build
+// below can synchronously admit without perturbing the arrival
+// clock), then run the request like any open arrival — mix-sampled or
+// trace-recorded type, speed-weighted routing, no session cache.
+func (g *scenGen) doArrive() {
+	s := g.s
+	rt := g.pendRT
+	g.pull()
+	var d workload.Demand
+	if rt != "" {
+		d = s.cfg.Demands[rt]
+	} else {
+		d = g.sampler.sample(s.choose)
+	}
+	r := s.getReq()
+	r.acc = g.acc
+	r.cls = g.cls
+	r.d = d
+	r.arrival = s.eng.Now()
+	r.srv = s.pickServerOpen()
+	r.app = s.apps[r.srv]
+	if s.router != nil {
+		// Open arrivals are never routed across pools, but they occupy
+		// the pool, so the router's in-flight state counts them.
+		s.router.Started(int(s.poolID), g.cls)
+	}
+	r.app.slots.Acquire(0, r.onSlot)
+}
+
+// WindowPoint is one fixed-width window of a scenario run: the
+// completions it saw and their mean response time. The transient-
+// error study compares these against per-window predictions.
+type WindowPoint struct {
+	// Start and End bound the window in simulated seconds from cold
+	// start.
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// Completed counts responses finished inside the window.
+	Completed int `json:"completed"`
+	// MeanRT is their mean response time (0 if none completed).
+	MeanRT float64 `json:"mean_rt"`
+	// Throughput is Completed over the window width.
+	Throughput float64 `json:"throughput"`
+}
+
+// Windows runs the configured workload from a cold start — no warm-up
+// discard; the config's WarmUp field is ignored — and reports
+// completions in fixed-width windows across Duration. Unlike
+// TransientCurve it keeps open populations active, because
+// time-varying open traffic (flash sales, MMPP bursts) is exactly
+// what the windowed view is for. Single-engine configurations only.
+func Windows(cfg Config, window float64) ([]WindowPoint, error) {
+	if window <= 0 {
+		return nil, errors.New("trade: window must be positive")
+	}
+	if cfg.sharded() {
+		return nil, errors.New("trade: windowed runs are not supported on sharded configurations")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := int(math.Ceil(cfg.Duration / window))
+	if n < 1 {
+		n = 1
+	}
+	accs := make([]stats.Accumulator, n)
+	s, err := newSimulator(cfg, simOptions{
+		intercept: func(now, rt float64) {
+			idx := int(now / window)
+			if idx >= n {
+				idx = n - 1
+			}
+			accs[idx].Add(rt)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.eng.Run(cfg.Duration, 0)
+	points := make([]WindowPoint, n)
+	for i := range points {
+		start := float64(i) * window
+		end := start + window
+		if end > cfg.Duration {
+			end = cfg.Duration
+		}
+		points[i] = WindowPoint{
+			Start:      start,
+			End:        end,
+			Completed:  accs[i].Count(),
+			MeanRT:     accs[i].Mean(),
+			Throughput: float64(accs[i].Count()) / (end - start),
+		}
+	}
+	return points, nil
+}

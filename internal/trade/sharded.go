@@ -131,7 +131,7 @@ func (xr *xreq) doReturn() {
 		xr.acc.record(rt)
 	}
 	c := xr.c
-	s.eng.Schedule(s.think.Exp(c.class.ThinkTimeMean), c.issue)
+	s.eng.Schedule(s.thinkDelay(c), c.issue)
 	s.putXreq(xr)
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"perfpred/internal/scenario"
 	"perfpred/internal/sim"
 	"perfpred/internal/stats"
 	"perfpred/internal/workload"
@@ -146,10 +147,24 @@ type client struct {
 	home     int
 	session  *buySession // non-nil for detailed buy clients
 
-	detailBrowse bool         // detailed-operations browse client
-	sampler      *typeSampler // the class's resolved request-type mix
-	acc          *classAcc    // the class's response-time accumulator
-	issue        func()       // bound once: begin the next request
+	detailBrowse bool           // detailed-operations browse client
+	sampler      *typeSampler   // the class's resolved request-type mix
+	acc          *classAcc      // the class's response-time accumulator
+	think        *scenario.Dist // scenario think-time distribution (nil = legacy exponential)
+	issue        func()         // bound once: begin the next request
+}
+
+// thinkDelay draws the client's next think time: the scenario
+// cohort's declared distribution when one is attached, the legacy
+// exponential otherwise. Both draw from the simulator's think stream,
+// and a scenario cohort declaring an exponential think makes the
+// exact draw the legacy path would, so the two modes stay comparable
+// seed-for-seed.
+func (s *simulator) thinkDelay(c *client) float64 {
+	if c.think != nil {
+		return c.think.Sample(s.think)
+	}
+	return s.think.Exp(c.class.ThinkTimeMean)
 }
 
 // buySession tracks a detailed buy client's place in its
@@ -187,6 +202,15 @@ func newSimulator(cfg Config, opt simOptions) (*simulator, error) {
 	}
 	if cfg.MaxRTSamples == 0 {
 		cfg.MaxRTSamples = DefaultMaxRTSamples
+	}
+	// A scenario supplies the workload: materialise it into the local
+	// config copy so population bookkeeping (accumulators, routers,
+	// collection) works unchanged, and keep the cohorts aligned with the
+	// derived Load for the scenario-specific registration below.
+	var cohorts []*scenario.Cohort
+	if cfg.Scenario != nil {
+		cfg.Load = cfg.Scenario.Workload()
+		cohorts = cfg.Scenario.Cohorts
 	}
 	eng := sim.NewEngine()
 	root := sim.NewStream(cfg.Seed)
@@ -277,11 +301,17 @@ func newSimulator(cfg Config, opt simOptions) (*simulator, error) {
 			s.acc[pop.Class.Name].quant = stats.NewStreamingQuantiles(cfg.StreamQuantiles)
 		}
 		if pop.Open() {
-			// Open stream (§8.1): Poisson arrivals at a constant rate,
-			// each an independent request with no think loop and no
-			// session identity.
+			// Open stream: spec-defined generator for scenario cohorts
+			// (Poisson, MMPP, trace, with temporal patterns); constant-rate
+			// Poisson arrivals (§8.1) otherwise. Either way each arrival is
+			// an independent request with no think loop and no session
+			// identity.
 			if !opt.skipOpen {
-				s.startOpenStream(pop, pi, sampler, arrivals.Derive(uint64(len(s.acc))))
+				if cohorts != nil {
+					s.startScenarioStream(cohorts[pi], pi, sampler, root)
+				} else {
+					s.startOpenStream(pop, pi, sampler, arrivals.Derive(uint64(len(s.acc))))
+				}
 			}
 			continue
 		}
@@ -292,6 +322,9 @@ func newSimulator(cfg Config, opt simOptions) (*simulator, error) {
 			c.classIdx = pi
 			c.home = -1
 			c.sampler = sampler
+			if cohorts != nil {
+				c.think = cohorts[pi].Think
+			}
 			if cfg.Routing == RouteSticky || cfg.Routing == "" {
 				c.home = s.assignSticky()
 			}
@@ -314,7 +347,7 @@ func newSimulator(cfg Config, opt simOptions) (*simulator, error) {
 			c.issue = func() { s.issueRequest(c) }
 			// Stagger initial arrivals across one think time so the
 			// run does not start with a synchronized burst.
-			eng.Schedule(s.think.Exp(pop.Class.ThinkTimeMean), c.issue)
+			eng.Schedule(s.thinkDelay(c), c.issue)
 		}
 	}
 	// Bind accumulators in a second pass: with duplicate class names the

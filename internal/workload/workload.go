@@ -157,33 +157,59 @@ func (w Workload) TotalClients() int {
 	return total
 }
 
-// ClassFraction returns the fraction of clients in the named class
-// (0 for an unknown class or an empty workload).
+// trafficWeight is the population's share weight: the client count for
+// a closed population, the arrival rate for an open stream. Open
+// streams used to weigh 0 here, so a workload whose traffic arrived
+// entirely through open streams reported every fraction as 0. The
+// exact client-equivalent of an open stream is ArrivalRate × (RT +
+// think) by Little's law, but a static workload description has no RT,
+// so the convention is deliberately (RT+think)-free: a pure-closed
+// workload reduces to the legacy client share, a pure-open workload to
+// the arrival-rate share, and a mixed workload blends the two weights
+// directly (clients alongside requests/second — a best-effort share,
+// not a calibrated one).
+func (p Population) trafficWeight() float64 {
+	if p.Open() {
+		return p.ArrivalRate
+	}
+	return float64(p.Clients)
+}
+
+// ClassFraction returns the named class's share of the offered
+// traffic: its client count for closed populations, its arrival rate
+// for open streams, over the workload's total weight (0 for an unknown
+// class or an empty workload). Duplicate class names accumulate.
 func (w Workload) ClassFraction(name string) float64 {
-	total := w.TotalClients()
+	var total, class float64
+	for _, p := range w {
+		wt := p.trafficWeight()
+		total += wt
+		if p.Class.Name == name {
+			class += wt
+		}
+	}
 	if total == 0 {
 		return 0
 	}
-	for _, p := range w {
-		if p.Class.Name == name {
-			return float64(p.Clients) / float64(total)
-		}
-	}
-	return 0
+	return class / total
 }
 
 // RequestFraction returns the expected fraction of requests of type rt
-// across the whole workload, weighting each class's mix by its client
-// share. (With homogeneous think times the client share equals the
-// request share.)
+// across the whole workload, weighting each class's mix by its traffic
+// share — client share for closed populations (with homogeneous think
+// times the client share equals the request share), arrival-rate share
+// for open streams.
 func (w Workload) RequestFraction(rt RequestType) float64 {
-	total := w.TotalClients()
+	var total float64
+	for _, p := range w {
+		total += p.trafficWeight()
+	}
 	if total == 0 {
 		return 0
 	}
 	var f float64
 	for _, p := range w {
-		f += float64(p.Clients) / float64(total) * p.Class.Mix.Fraction(rt)
+		f += p.trafficWeight() / total * p.Class.Mix.Fraction(rt)
 	}
 	return f
 }

@@ -217,3 +217,62 @@ func TestMixedWorkloadConservesClientsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: open populations used to carry 0 weight in
+// RequestFraction/ClassFraction, so a workload whose traffic arrived
+// entirely through open streams reported every fraction as 0 even
+// though the streams carried all the traffic. Open streams now weigh
+// by arrival-rate share.
+func TestOpenWorkloadFractions(t *testing.T) {
+	w := Workload{
+		{Class: BrowseClass(0), ArrivalRate: 30},
+		{Class: BuyClass(0), ArrivalRate: 10},
+	}
+	if got := w.ClassFraction("browse"); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("open browse class fraction = %v, want 0.75", got)
+	}
+	if got := w.ClassFraction("buy"); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("open buy class fraction = %v, want 0.25", got)
+	}
+	if got := w.RequestFraction(Browse); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("open browse request fraction = %v, want 0.75", got)
+	}
+	if got := w.RequestFraction(Buy); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("open buy request fraction = %v, want 0.25", got)
+	}
+}
+
+// A single open stream carrying all the traffic must report fraction 1
+// for its own class and mix — the exact shape of the original bug.
+func TestSingleOpenStreamCarriesAllTraffic(t *testing.T) {
+	w := OpenWorkload(BrowseClass(0), 25)
+	if got := w.ClassFraction("browse"); got != 1 {
+		t.Fatalf("sole open stream class fraction = %v, want 1", got)
+	}
+	if got := w.RequestFraction(Browse); got != 1 {
+		t.Fatalf("sole open stream request fraction = %v, want 1", got)
+	}
+	if got := w.RequestFraction(Buy); got != 0 {
+		t.Fatalf("absent type request fraction = %v, want 0", got)
+	}
+}
+
+// Closed-only workloads keep the legacy client-share semantics
+// unchanged, and mixed open+closed workloads blend both weights.
+func TestMixedOpenClosedFractions(t *testing.T) {
+	closedOnly := MixedWorkload(100, 0.25)
+	if got := closedOnly.RequestFraction(Buy); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("closed-only buy fraction = %v, want 0.25", got)
+	}
+	mixed := Workload{
+		{Class: BrowseClass(0), Clients: 60},
+		{Class: BuyClass(0), ArrivalRate: 20},
+	}
+	if got := mixed.ClassFraction("buy"); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("mixed buy class fraction = %v, want 20/80 = 0.25", got)
+	}
+	sum := mixed.RequestFraction(Browse) + mixed.RequestFraction(Buy)
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("mixed request fractions sum to %v, want 1", sum)
+	}
+}
