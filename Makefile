@@ -38,10 +38,17 @@
 #                 check, the 1/2/4-shard determinism fingerprint and
 #                 the generated-traffic burstiness self-check,
 #                 snapshotted to BENCH_scenario.json (commit it).
+#   make bench-regress — the four-family evidence: HYDRA / LQN /
+#                 hybrid / regression accuracy-vs-startup-cost table
+#                 against one simulated-truth oracle, the training-set
+#                 -size accuracy curve, the worker-count fit
+#                 determinism fingerprint and the regression-planned
+#                 cost-performance frontier, snapshotted to
+#                 BENCH_regress.json (commit it).
 
 GO ?= go
 
-.PHONY: test race bench bench-sim bench-fleet bench-serve bench-scenario serve-smoke metrics-smoke
+.PHONY: test race bench bench-sim bench-fleet bench-serve bench-scenario bench-regress serve-smoke metrics-smoke
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -55,6 +62,7 @@ race:
 	$(GO) test -race -run 'TestConcurrentServing|TestColdStampedeBuildsOnce|TestOverloadShedsNotCollapses|TestGracefulShutdownDrains' ./internal/serve
 	$(GO) test -race ./internal/scenario
 	$(GO) test -race -run 'TestScenario|TestFleetScenario' ./internal/trade ./internal/fleet
+	$(GO) test -race -run 'TestTrainDeterministicAcrossWorkers' ./internal/regress
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedule|BenchmarkRunDrain|BenchmarkStationSubmit' -benchmem ./internal/sim
@@ -77,6 +85,9 @@ bench-serve:
 
 bench-scenario:
 	$(GO) run ./cmd/scenariobench -out BENCH_scenario.json
+
+bench-regress:
+	$(GO) run ./cmd/regressbench -out BENCH_regress.json
 
 serve-smoke:
 	$(GO) build -o /tmp/perfpred-predserve ./cmd/predserve

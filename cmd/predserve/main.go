@@ -6,7 +6,7 @@
 //
 // Endpoints:
 //
-//	GET|POST /v1/predict   response-time prediction (method=hybrid|lqn)
+//	GET|POST /v1/predict   response-time prediction (method=hybrid|lqn|regress)
 //	GET|POST /v1/capacity  max clients under an SLA goal
 //	POST     /v1/allocate  Algorithm 1 allocation plan
 //	GET      /healthz      liveness
@@ -49,6 +49,9 @@ func main() {
 	laplaceB := flag.Float64("laplace-b", 0, "fixed Laplace percentile scale in seconds; 0 calibrates per key from a fixed-seed simulator run")
 	calibSeconds := flag.Float64("calib-seconds", 40, "simulated seconds per percentile calibration run")
 	calibSeed := flag.Int64("calib-seed", 1, "seed for the calibration runs")
+	regressSamples := flag.Int("regress-samples", 8, "training measurements per (architecture, mix) for the cheap regress tier")
+	regressSeconds := flag.Float64("regress-seconds", 20, "simulated seconds per regress training run")
+	regressDegree := flag.Int("regress-degree", 2, "polynomial degree of the regress tier")
 	buildWorkers := flag.Int("build-workers", 2, "concurrent cold model builds")
 	maxQueuedBuilds := flag.Int("max-queued-builds", 8, "cold builds allowed to wait beyond the workers before 429")
 	solveWorkers := flag.Int("solve-workers", 0, "batch solver workers (0 = GOMAXPROCS)")
@@ -71,6 +74,9 @@ func main() {
 		LaplaceB:              *laplaceB,
 		CalibrationSeed:       *calibSeed,
 		CalibrationSimSeconds: *calibSeconds,
+		RegressTrainSamples:   *regressSamples,
+		RegressSimSeconds:     *regressSeconds,
+		RegressDegree:         *regressDegree,
 		BuildWorkers:          *buildWorkers,
 		MaxQueuedBuilds:       *maxQueuedBuilds,
 		SolveWorkers:          *solveWorkers,

@@ -1,0 +1,485 @@
+// Command regressbench is the four-family comparison study: it brings
+// up each predictor family standalone — historical (HYDRA), layered
+// queuing, hybrid, and the black-box regression family — charges every
+// one the calibration it actually needs, then scores all four against
+// the same memoised simulated-truth oracle on the same probe grid. The
+// headline table holds accuracy and start-up cost side by side: the
+// regression tier answers from a handful of short seeded measurements,
+// the hybrid from layered sweeps plus demand calibration, and the
+// snapshot records exactly what each trade buys.
+//
+// Around the table the snapshot re-asserts the regression family's
+// contracts: a training-set-size vs accuracy curve (how few samples
+// the polynomial fit can survive on), a bit-level determinism check
+// (fits at 1 worker and at all cores must produce identical weights),
+// and a heterogeneous-architecture cost-performance frontier planned
+// with the regression model itself — Algorithm 1 extended with $/req
+// as a first-class axis, Pareto dominance re-derived independently as
+// a self-check.
+//
+// Usage:
+//
+//	regressbench [-quick] [-seed 1] [-out BENCH_regress.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"perfpred/internal/bench"
+	"perfpred/internal/lqn"
+	"perfpred/internal/regress"
+	"perfpred/internal/rm"
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
+)
+
+// familyRow is one predictor family's line of the headline table.
+type familyRow struct {
+	Name string `json:"name"`
+	// Accuracy against the shared truth oracle over the probe grid.
+	MeanRTErrPct  float64 `json:"mean_rt_err_pct"`
+	MaxRTErrPct   float64 `json:"max_rt_err_pct"`
+	MeanCapErrPct float64 `json:"mean_cap_err_pct"`
+	MaxCapErrPct  float64 `json:"max_cap_err_pct"`
+	RTProbes      int     `json:"rt_probes"`
+	CapProbes     int     `json:"cap_probes"`
+	// Start-up cost: simulated testbed seconds the family consumed
+	// before it could answer its first query, and the wall-clock cost
+	// of the whole standalone bring-up on this machine.
+	StartupSimSeconds  float64 `json:"startup_sim_seconds"`
+	StartupWallSeconds float64 `json:"startup_wall_seconds"`
+}
+
+// curvePoint is one training-set size of the accuracy curve.
+type curvePoint struct {
+	SamplesPerMix int     `json:"samples_per_mix"`
+	TrainSamples  int     `json:"train_samples"`
+	SimSeconds    float64 `json:"sim_seconds"`
+	MeanRTErrPct  float64 `json:"mean_rt_err_pct"`
+	MaxRTErrPct   float64 `json:"max_rt_err_pct"`
+}
+
+// determinismCheck records the worker-count fit-reproducibility gate.
+type determinismCheck struct {
+	WorkerCounts []int  `json:"worker_counts"`
+	Fingerprint  string `json:"fingerprint"`
+	Pass         bool   `json:"pass"`
+}
+
+// frontierRow is one architecture mix of the cost-performance table.
+type frontierRow struct {
+	Counts           []int   `json:"counts"`
+	Servers          int     `json:"servers"`
+	Capacity         int     `json:"capacity"`
+	HourlyCost       float64 `json:"hourly_cost"`
+	ThroughputPerSec float64 `json:"throughput_per_s"`
+	CostPerMReq      float64 `json:"cost_per_mreq"`
+	Frontier         bool    `json:"frontier"`
+}
+
+type snapshot struct {
+	Note        string           `json:"note"`
+	Cores       int              `json:"cores"`
+	Seed        int64            `json:"seed"`
+	Quick       bool             `json:"quick,omitempty"`
+	Families    []familyRow      `json:"families"`
+	Curve       []curvePoint     `json:"training_curve"`
+	Determinism determinismCheck `json:"determinism"`
+	FrontierOpt struct {
+		MaxServers  int       `json:"max_servers"`
+		MaxPerArch  int       `json:"max_per_arch"`
+		HourlyCosts []float64 `json:"hourly_costs"`
+	} `json:"frontier_options"`
+	Frontier    []frontierRow `json:"frontier"`
+	WallSeconds float64       `json:"wall_seconds"`
+	AllPass     bool          `json:"all_pass"`
+	FailReasons []string      `json:"fail_reasons,omitempty"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "smoke mode: shorter runs, coarser checks")
+	seed := flag.Int64("seed", 1, "seed for calibration, training and truth runs")
+	out := flag.String("out", "BENCH_regress.json", "snapshot path ('-' for stdout)")
+	flag.Parse()
+
+	start := time.Now()
+	snap := &snapshot{
+		Note: "Four-family predictor comparison: historical (HYDRA), layered-queuing, hybrid and black-box " +
+			"regression scored against one memoised simulated-truth oracle on a shared probe grid, with " +
+			"standalone start-up costs (simulated seconds and wall clock), a training-set-size vs accuracy " +
+			"curve, a worker-count fit-determinism fingerprint, and a regression-planned " +
+			"heterogeneous-architecture cost-performance frontier ($/req axis).",
+		Cores: runtime.NumCPU(),
+		Seed:  *seed,
+		Quick: *quick,
+	}
+	fail := func(format string, args ...any) {
+		snap.FailReasons = append(snap.FailReasons, fmt.Sprintf(format, args...))
+	}
+
+	// Measurement horizons: the calibration suites use their defaults
+	// (30 s warm-up, 120 s window); the regression tier trains on
+	// deliberately short runs — its cheapness is the point under test.
+	calWarm, calDur := 30.0, 120.0
+	regWarm, regDur := 10.0, 40.0
+	samplesPerMix := 8
+	if *quick {
+		calWarm, calDur = 10.0, 40.0
+		regWarm, regDur = 2.0, 8.0
+	}
+	perCalRun := calWarm + calDur
+	archs := workload.CaseStudyServers()
+
+	// --- Phase 1: standalone family bring-up -------------------------
+	// Each family gets its own suite so wall clock and simulated
+	// seconds are what that family alone would pay, with nothing
+	// amortised across families. Simulated seconds are exact run
+	// counts: HYDRA needs 13 measurements (3 max-throughput benchmarks,
+	// 2 gradient points, 4 curve points for each established server);
+	// LQN and hybrid both need the 2 single-type demand calibrations.
+	fmt.Fprintln(os.Stderr, "regressbench: bringing up four predictor families standalone...")
+
+	t0 := time.Now()
+	hydraSuite := newSuite(*seed, calWarm, calDur)
+	hydraSet := rm.ModelSet{}
+	for _, a := range archs {
+		m, err := hydraSuite.HistModelFor(a)
+		if err != nil {
+			fatal("historical calibration: %v", err)
+		}
+		hydraSet[a.Name] = m
+	}
+	hydraWall := time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	lqnSuite := newSuite(*seed, calWarm, calDur)
+	demands, err := lqnSuite.LQNDemands()
+	if err != nil {
+		fatal("LQN demand calibration: %v", err)
+	}
+	lqnPred, err := rm.NewLQNPredictor(archs, workload.CaseStudyDB(), demands,
+		workload.BrowseClass(0), lqn.Options{Convergence: 1e-6})
+	if err != nil {
+		fatal("LQN predictor: %v", err)
+	}
+	lqnWall := time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	hybridSuite := newSuite(*seed, calWarm, calDur)
+	hybridM, err := hybridSuite.Hybrid()
+	if err != nil {
+		fatal("hybrid build: %v", err)
+	}
+	hybridWall := time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	regressM, err := regress.Train(regress.TrainConfig{
+		Archs:         archs,
+		SamplesPerMix: samplesPerMix,
+		Seed:          *seed,
+		Opt:           trade.MeasureOptions{WarmUp: regWarm, Duration: regDur},
+		Fit:           regress.FitConfig{Degree: 3},
+	})
+	if err != nil {
+		fatal("regression training: %v", err)
+	}
+	regressWall := time.Since(t0).Seconds()
+
+	families := []rm.EvalFamily{
+		{Name: "hydra", Pred: hydraSet, StartupSimSeconds: 13 * perCalRun, StartupWallSeconds: hydraWall},
+		{Name: "lqn", Pred: lqnPred, StartupSimSeconds: 2 * perCalRun, StartupWallSeconds: lqnWall},
+		{Name: "hybrid", Pred: hybridM, StartupSimSeconds: 2 * perCalRun, StartupWallSeconds: hybridWall},
+		{Name: "regress", Pred: regressM, StartupSimSeconds: regressM.Stats.SimSeconds, StartupWallSeconds: regressWall},
+	}
+
+	// --- Phase 2: shared-truth accuracy table ------------------------
+	fmt.Fprintln(os.Stderr, "regressbench: scoring all families against the truth oracle...")
+	truth := rm.NewSimOracle(archs, trade.MeasureOptions{Seed: *seed, WarmUp: calWarm, Duration: calDur})
+	scenarios := probeGrid(archs, *quick)
+	scores, err := rm.PredictorEval(families, truth, scenarios)
+	if err != nil {
+		fatal("predictor eval: %v", err)
+	}
+	for _, s := range scores {
+		snap.Families = append(snap.Families, familyRow{
+			Name:               s.Name,
+			MeanRTErrPct:       round2(s.MeanAbsRTErrPct),
+			MaxRTErrPct:        round2(s.MaxAbsRTErrPct),
+			MeanCapErrPct:      round2(s.MeanAbsCapErrPct),
+			MaxCapErrPct:       round2(s.MaxAbsCapErrPct),
+			RTProbes:           s.RTProbes,
+			CapProbes:          s.CapProbes,
+			StartupSimSeconds:  s.StartupSimSeconds,
+			StartupWallSeconds: round2(s.StartupWallSeconds),
+		})
+		if s.RTProbes == 0 || s.CapProbes == 0 {
+			fail("family %s scored no probes", s.Name)
+		}
+		if !isFinite(s.MeanAbsRTErrPct) || !isFinite(s.MeanAbsCapErrPct) {
+			fail("family %s produced non-finite error", s.Name)
+		}
+	}
+	if len(scores) != 4 {
+		fail("expected 4 families in the table, got %d", len(scores))
+	}
+	// The probe grid includes populations just below the saturation
+	// knee, where relative response-time error is brutal for every
+	// family (the model-based families also land in the hundreds of
+	// percent at their worst probe); the gate bounds the mean so a
+	// broken fit fails loudly without freezing the honest knee error.
+	errBound := 100.0
+	if *quick {
+		errBound = 120.0
+	}
+	for _, s := range scores {
+		if s.Name == "regress" {
+			if s.MeanAbsRTErrPct > errBound {
+				fail("regression mean RT error %.1f%% exceeds %.0f%%", s.MeanAbsRTErrPct, errBound)
+			}
+			if s.StartupSimSeconds >= 13*perCalRun {
+				fail("regression start-up (%.0f sim-s) is not cheaper than HYDRA's (%.0f sim-s)",
+					s.StartupSimSeconds, 13*perCalRun)
+			}
+		}
+	}
+
+	// --- Phase 3: training-set-size vs accuracy curve ----------------
+	fmt.Fprintln(os.Stderr, "regressbench: training-set-size vs accuracy curve...")
+	sizes := []int{8, 10, 13, 16}
+	if *quick {
+		sizes = []int{8, 11}
+	}
+	for _, sz := range sizes {
+		m, err := regress.Train(regress.TrainConfig{
+			Archs:         archs,
+			SamplesPerMix: sz,
+			Seed:          *seed,
+			Opt:           trade.MeasureOptions{WarmUp: regWarm, Duration: regDur},
+			Fit:           regress.FitConfig{Degree: 3},
+		})
+		if err != nil {
+			fatal("training at %d samples/mix: %v", sz, err)
+		}
+		pt, err := rm.PredictorEval([]rm.EvalFamily{{Name: "regress", Pred: m}}, truth, rtOnly(scenarios))
+		if err != nil {
+			fatal("curve eval at %d samples/mix: %v", sz, err)
+		}
+		snap.Curve = append(snap.Curve, curvePoint{
+			SamplesPerMix: sz,
+			TrainSamples:  m.Stats.Samples,
+			SimSeconds:    m.Stats.SimSeconds,
+			MeanRTErrPct:  round2(pt[0].MeanAbsRTErrPct),
+			MaxRTErrPct:   round2(pt[0].MaxAbsRTErrPct),
+		})
+		if !isFinite(pt[0].MeanAbsRTErrPct) {
+			fail("curve point at %d samples/mix produced non-finite error", sz)
+		}
+	}
+
+	// --- Phase 4: worker-count fit determinism -----------------------
+	fmt.Fprintln(os.Stderr, "regressbench: worker-count determinism check...")
+	snap.Determinism = checkDeterminism(archs, *seed, samplesPerMix, regWarm, regDur, fail)
+
+	// --- Phase 5: regression-planned cost frontier -------------------
+	fmt.Fprintln(os.Stderr, "regressbench: heterogeneous cost-performance frontier...")
+	maxServers, maxPer := 6, 3
+	if *quick {
+		maxServers, maxPer = 4, 2
+	}
+	costs := []float64{0.08, 0.17, 0.35}
+	snap.FrontierOpt.MaxServers = maxServers
+	snap.FrontierOpt.MaxPerArch = maxPer
+	snap.FrontierOpt.HourlyCosts = costs
+	prices := []rm.ArchPrice{
+		{Arch: workload.AppServS(), HourlyCost: costs[0], Max: maxPer},
+		{Arch: workload.AppServF(), HourlyCost: costs[1], Max: maxPer},
+		{Arch: workload.AppServVF(), HourlyCost: costs[2], Max: maxPer},
+	}
+	points, err := rm.CostFrontier(prices, regressM, workload.ThinkTimeMean,
+		rm.FrontierOptions{MaxServers: maxServers})
+	if err != nil {
+		fatal("cost frontier: %v", err)
+	}
+	frontierN := 0
+	for _, p := range points {
+		snap.Frontier = append(snap.Frontier, frontierRow{
+			Counts:           p.Counts,
+			Servers:          p.Servers,
+			Capacity:         p.Capacity,
+			HourlyCost:       round2(p.HourlyCost),
+			ThroughputPerSec: round2(p.ThroughputPerSec),
+			CostPerMReq:      round2(p.CostPerMReq),
+			Frontier:         !p.Dominated,
+		})
+		if !p.Dominated {
+			frontierN++
+		}
+		if p.Capacity > 0 && p.CostPerMReq <= 0 {
+			fail("mix %v holds %d clients but prices at %.3f $/Mreq", p.Counts, p.Capacity, p.CostPerMReq)
+		}
+	}
+	if frontierN == 0 {
+		fail("frontier is empty — every mix dominated")
+	}
+	if frontierN == len(points) && len(points) > 3 {
+		fail("no mix dominated — dominance marking suspect over %d points", len(points))
+	}
+	// Independent re-derivation of the dominance verdicts.
+	for i, p := range points {
+		dom := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if q.Capacity >= p.Capacity && q.HourlyCost <= p.HourlyCost &&
+				(q.Capacity > p.Capacity || q.HourlyCost < p.HourlyCost) {
+				dom = true
+				break
+			}
+		}
+		if dom != p.Dominated {
+			fail("mix %v dominance verdict %v disagrees with re-derivation %v", p.Counts, p.Dominated, dom)
+		}
+	}
+
+	snap.WallSeconds = round2(time.Since(start).Seconds())
+	snap.AllPass = len(snap.FailReasons) == 0
+	writeSnapshot(snap, *out)
+	if !snap.AllPass {
+		fmt.Fprintf(os.Stderr, "regressbench: FAILED: %v\n", snap.FailReasons)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "regressbench: all checks passed in %.1fs\n", snap.WallSeconds)
+}
+
+// newSuite builds a bench suite with this study's measurement horizon.
+func newSuite(seed int64, warm, dur float64) *bench.Suite {
+	s := bench.NewSuite(seed)
+	s.Opt.WarmUp, s.Opt.Duration = warm, dur
+	return s
+}
+
+// probeGrid lays out the shared probe set: populations as fractions of
+// each architecture's saturation knee (Xmax × Z), capacities at fixed
+// SLA goals.
+func probeGrid(archs []workload.ServerArch, quick bool) []rm.EvalScenario {
+	fracs := []float64{0.3, 0.6, 0.9, 1.2}
+	goals := []float64{0.5, 1.5}
+	if quick {
+		fracs = []float64{0.5, 1.1}
+		goals = []float64{1.0}
+	}
+	var scenarios []rm.EvalScenario
+	for _, a := range archs {
+		sat := a.MaxThroughputTypical * workload.ThinkTimeMean
+		sc := rm.EvalScenario{Arch: a.Name, GoalRTs: goals}
+		for _, f := range fracs {
+			sc.Pops = append(sc.Pops, int(f*sat))
+		}
+		scenarios = append(scenarios, sc)
+	}
+	return scenarios
+}
+
+// rtOnly strips capacity probes: the curve study measures fit accuracy
+// only, so it skips the (expensive) capacity searches.
+func rtOnly(scenarios []rm.EvalScenario) []rm.EvalScenario {
+	out := make([]rm.EvalScenario, len(scenarios))
+	for i, sc := range scenarios {
+		out[i] = rm.EvalScenario{Arch: sc.Arch, Pops: sc.Pops}
+	}
+	return out
+}
+
+// checkDeterminism trains the same config at 1 worker and at all cores
+// and demands bit-identical fitted weights, fingerprinting the serial
+// fit for the snapshot.
+func checkDeterminism(archs []workload.ServerArch, seed int64, samples int, warm, dur float64, fail func(string, ...any)) determinismCheck {
+	// Force a genuinely concurrent fan-out even on a single-core box:
+	// the contract is "any worker count", not "all cores".
+	par := runtime.NumCPU()
+	if par < 4 {
+		par = 4
+	}
+	chk := determinismCheck{WorkerCounts: []int{1, par}, Pass: true}
+	cfg := regress.TrainConfig{
+		Archs:         archs,
+		SamplesPerMix: samples,
+		Seed:          seed,
+		Opt:           trade.MeasureOptions{WarmUp: warm, Duration: dur},
+		Fit:           regress.FitConfig{Degree: 3},
+	}
+	models := make([]*regress.Model, len(chk.WorkerCounts))
+	for i, w := range chk.WorkerCounts {
+		c := cfg
+		c.Opt.Workers = w
+		m, err := regress.Train(c)
+		if err != nil {
+			fail("determinism training at %d workers: %v", w, err)
+			chk.Pass = false
+			return chk
+		}
+		models[i] = m
+	}
+	h := fnv.New64a()
+	for _, a := range archs {
+		ref := models[0].Weights(a.Name)
+		for _, b := range ref {
+			var buf [8]byte
+			bits := math.Float64bits(b)
+			for k := 0; k < 8; k++ {
+				buf[k] = byte(bits >> (8 * k))
+			}
+			h.Write(buf[:])
+		}
+		for i := 1; i < len(models); i++ {
+			w := models[i].Weights(a.Name)
+			if len(w) != len(ref) {
+				fail("arch %s: %d weights at %d workers vs %d serial", a.Name, len(w), chk.WorkerCounts[i], len(ref))
+				chk.Pass = false
+				continue
+			}
+			for k := range w {
+				if w[k] != ref[k] {
+					fail("arch %s weight %d differs at %d workers: %v vs %v",
+						a.Name, k, chk.WorkerCounts[i], w[k], ref[k])
+					chk.Pass = false
+				}
+			}
+		}
+	}
+	chk.Fingerprint = fmt.Sprintf("%016x", h.Sum64())
+	return chk
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func writeSnapshot(snap *snapshot, out string) {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal("encoding snapshot: %v", err)
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal("writing snapshot: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "regressbench: wrote %s\n", out)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "regressbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -13,6 +13,8 @@
 //	rmsim sweep  [-slack 1.1] [-seed 1]     # one figure-5/6 line
 //	rmsim slacks [-from 1.1 -to 0 -step 0.1]  # figure 7
 //	rmsim minzero                             # minimum 0%-failure slack
+//	rmsim frontier [-max-servers 8 -max-per-arch 4 -cost-s 0.08 -cost-f 0.17 -cost-vf 0.35]
+//	             # heterogeneous cost-performance frontier ($/req axis)
 //	rmsim fleet  [-pools 8] [-shards 4] [-scorer affinity] [-clients 200]
 //	             [-scenario spec.json]   # spec-driven time-varying load
 package main
@@ -50,6 +52,11 @@ func main() {
 	duration := fs.Float64("duration", 30, "measured simulated seconds for 'fleet'")
 	replan := fs.Float64("replan", 2, "replan period in simulated seconds for 'fleet' (0 disables)")
 	scenarioPath := fs.String("scenario", "", "drive 'fleet' with a declarative workload spec (JSON file) instead of -clients")
+	costS := fs.Float64("cost-s", 0.08, "$/hour of one AppServS for 'frontier'")
+	costF := fs.Float64("cost-f", 0.17, "$/hour of one AppServF for 'frontier'")
+	costVF := fs.Float64("cost-vf", 0.35, "$/hour of one AppServVF for 'frontier'")
+	maxPer := fs.Int("max-per-arch", 4, "per-architecture server cap for 'frontier'")
+	maxServers := fs.Int("max-servers", 8, "fleet size cap for 'frontier'")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
 	}
@@ -107,8 +114,42 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("minimum slack with 0%% SLA failures before 100%% usage: %.3f (paper: 1.1)\n", s)
+	case "frontier":
+		// Heterogeneous-architecture cost-performance frontier: every
+		// architecture mix within the caps, capacity per Algorithm 1
+		// with the calibrated planner, $/req as a first-class axis.
+		points, err := rm.CostFrontier(casePrices(*costS, *costF, *costVF, *maxPer), pred,
+			workload.ThinkTimeMean, rm.FrontierOptions{
+				Shares:     rm.CaseStudyShares(),
+				Slack:      *slack,
+				MaxServers: *maxServers,
+			})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("slack=%.2f max-servers=%d ($%.2f/$%.2f/$%.2f per hour)\n", *slack, *maxServers, *costS, *costF, *costVF)
+		fmt.Println("  S  F VF  servers  capacity   $/hour  req/s  $/Mreq  frontier")
+		for _, p := range points {
+			mark := ""
+			if !p.Dominated {
+				mark = "*"
+			}
+			fmt.Printf("%3d %2d %2d  %7d  %8d  %7.2f  %5.0f  %6.3f  %8s\n",
+				p.Counts[0], p.Counts[1], p.Counts[2], p.Servers, p.Capacity,
+				p.HourlyCost, p.ThroughputPerSec, p.CostPerMReq, mark)
+		}
 	default:
 		usage()
+	}
+}
+
+// casePrices prices the three case-study architectures for the
+// frontier sweep.
+func casePrices(costS, costF, costVF float64, maxPer int) []rm.ArchPrice {
+	return []rm.ArchPrice{
+		{Arch: workload.AppServS(), HourlyCost: costS, Max: maxPer},
+		{Arch: workload.AppServF(), HourlyCost: costF, Max: maxPer},
+		{Arch: workload.AppServVF(), HourlyCost: costVF, Max: maxPer},
 	}
 }
 
@@ -202,7 +243,7 @@ func runFleet(pools, shards int, scorerName string, clients int, duration, repla
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rmsim sweep|slacks|minzero|fleet [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rmsim sweep|slacks|minzero|frontier|fleet [flags]")
 	os.Exit(2)
 }
 

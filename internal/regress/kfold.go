@@ -1,0 +1,89 @@
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"perfpred/internal/workload"
+)
+
+// FoldReport is one fold's held-out error.
+type FoldReport struct {
+	Fold int
+	// Held is the number of held-out samples scored.
+	Held int
+	// MAPEPct is the mean absolute percentage error on the held-out
+	// samples.
+	MAPEPct float64
+}
+
+// CrossValidation is the k-fold error report.
+type CrossValidation struct {
+	Folds []FoldReport
+	// MeanMAPEPct averages the folds' MAPE, weighting each held-out
+	// sample equally.
+	MeanMAPEPct float64
+	// MaxMAPEPct is the worst fold.
+	MaxMAPEPct float64
+}
+
+// KFold runs deterministic k-fold cross-validation: sample i belongs
+// to fold i mod k (the training order is already a seeded shuffle of
+// the grid, so contiguous striding is an unbiased split), each fold's
+// model is fitted on the remainder and scored on the held-out part.
+// It reports per-fold and aggregate MAPE — the error bar the bench
+// snapshot attaches to the regression family's accuracy row.
+func KFold(samples []Sample, k int, archs []workload.ServerArch, demands map[workload.RequestType]workload.Demand, think float64, cfg FitConfig) (*CrossValidation, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("regress: k-fold needs k ≥ 2, got %d", k)
+	}
+	if len(samples) < k {
+		return nil, errors.New("regress: fewer samples than folds")
+	}
+	cv := &CrossValidation{}
+	var sumErr float64
+	var scored int
+	for fold := 0; fold < k; fold++ {
+		var train, hold []Sample
+		for i, s := range samples {
+			if i%k == fold {
+				hold = append(hold, s)
+			} else {
+				train = append(train, s)
+			}
+		}
+		m, err := Fit(train, archs, demands, think, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("regress: fold %d: %w", fold, err)
+		}
+		var foldErr float64
+		var foldN int
+		for _, s := range hold {
+			af, ok := m.archs[s.Arch]
+			if !ok {
+				// The fold removed every sample of this architecture;
+				// skip rather than score a model that was never fit.
+				continue
+			}
+			pred := m.predictArch(af, float64(s.Clients), s.BuyFrac)
+			foldErr += math.Abs(pred-s.MeanRT) / s.MeanRT
+			foldN++
+		}
+		if foldN == 0 {
+			continue
+		}
+		mape := 100 * foldErr / float64(foldN)
+		cv.Folds = append(cv.Folds, FoldReport{Fold: fold, Held: foldN, MAPEPct: mape})
+		if mape > cv.MaxMAPEPct {
+			cv.MaxMAPEPct = mape
+		}
+		sumErr += foldErr
+		scored += foldN
+	}
+	if scored == 0 {
+		return nil, errors.New("regress: no fold produced a scoreable split")
+	}
+	cv.MeanMAPEPct = 100 * sumErr / float64(scored)
+	return cv, nil
+}

@@ -1,0 +1,277 @@
+package regress
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
+)
+
+// testArch is a slow synthetic architecture so tests measure small
+// populations.
+func testArch() workload.ServerArch {
+	return workload.ServerArch{Name: "TestServ", Speed: 0.05, MPL: 50, MaxThroughputTypical: 0.05 * workload.MaxThroughputF}
+}
+
+// syntheticSamples builds samples whose response time is exactly
+// linear in the offered app-server work: rt = base + slope·(n·dApp).
+func syntheticSamples(arch workload.ServerArch, base, slope float64, pops []int) []Sample {
+	demands := workload.CaseStudyDemands()
+	appD := demands[workload.Browse].AppServerTime / arch.Speed
+	out := make([]Sample, 0, len(pops))
+	for _, n := range pops {
+		out = append(out, Sample{
+			Arch:    arch.Name,
+			Clients: n,
+			MeanRT:  base + slope*float64(n)*appD,
+		})
+	}
+	return out
+}
+
+// A ridge fit with a vanishing penalty on exactly linear data must
+// recover the generating line: near-zero error at training points and
+// at interior queries the model never saw.
+func TestRidgeRecoversSyntheticLinear(t *testing.T) {
+	arch := testArch()
+	pops := []int{5, 12, 20, 31, 44, 58, 71, 85, 92, 100}
+	const base, slope = 0.080, 2.5
+	samples := syntheticSamples(arch, base, slope, pops)
+	m, err := Fit(samples, []workload.ServerArch{arch}, workload.CaseStudyDemands(), workload.ThinkTimeMean,
+		FitConfig{Degree: 3, Lambda: 1e-9, Target: "rt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := workload.CaseStudyDemands()
+	appD := demands[workload.Browse].AppServerTime / arch.Speed
+	for _, n := range []float64{5, 17, 26, 50, 63, 88, 100} {
+		want := base + slope*n*appD
+		got, err := m.Predict(arch.Name, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want)/want > 1e-6 {
+			t.Errorf("n=%v: predicted %v, want %v", n, got, want)
+		}
+	}
+}
+
+// MaxClients must invert Predict: the goal holds at the reported
+// capacity and breaks just past it.
+func TestMaxClientsInvertsPredict(t *testing.T) {
+	arch := testArch()
+	pops := []int{5, 12, 20, 31, 44, 58, 71, 85, 92, 100}
+	samples := syntheticSamples(arch, 0.080, 2.5, pops)
+	m, err := Fit(samples, []workload.ServerArch{arch}, workload.CaseStudyDemands(), workload.ThinkTimeMean,
+		FitConfig{Degree: 2, Lambda: 1e-9, Target: "rt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, goal := range []float64{0.5, 1.0, 5.0} {
+		capN, err := m.MaxClients(arch.Name, goal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if capN < 1 {
+			t.Fatalf("goal %v: capacity %v", goal, capN)
+		}
+		if rt, _ := m.Predict(arch.Name, capN); rt > goal {
+			t.Errorf("goal %v: rt %v at reported capacity %v", goal, rt, capN)
+		}
+		if rt, _ := m.Predict(arch.Name, capN+1); rt <= goal && capN < 2*100 {
+			t.Errorf("goal %v: capacity %v not maximal (rt %v at +1)", goal, capN, rt)
+		}
+	}
+}
+
+// The k-NN fallback must return the exact target on an exact feature
+// match and stay within the sample range between neighbours.
+func TestKNNFallback(t *testing.T) {
+	arch := testArch()
+	samples := []Sample{
+		{Arch: arch.Name, Clients: 10, MeanRT: 0.1},
+		{Arch: arch.Name, Clients: 20, MeanRT: 0.2},
+		{Arch: arch.Name, Clients: 30, MeanRT: 0.3},
+		{Arch: arch.Name, Clients: 40, MeanRT: 0.4},
+		{Arch: arch.Name, Clients: 50, MeanRT: 0.5},
+		{Arch: arch.Name, Clients: 60, MeanRT: 0.6},
+		{Arch: arch.Name, Clients: 70, MeanRT: 0.7},
+		{Arch: arch.Name, Clients: 80, MeanRT: 0.8},
+	}
+	m, err := Fit(samples, []workload.ServerArch{arch}, workload.CaseStudyDemands(), workload.ThinkTimeMean, FitConfig{Degree: 2, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	af := m.archs[arch.Name]
+	raw := encode(af.traits, 30, 0, m.cfg.Degree, nil)
+	for j := range raw {
+		raw[j] = (raw[j] - af.mean[j]) / af.scale[j]
+	}
+	if got := knnPredict(af, raw, 3); got != 0.3 {
+		t.Errorf("exact-match k-NN = %v, want 0.3", got)
+	}
+	// Past the trained range the model extrapolates via the k-NN edge
+	// value scaled by population — monotone increasing.
+	prev := 0.0
+	for _, n := range []float64{90, 120, 150} {
+		rt, err := m.Predict(arch.Name, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt <= prev {
+			t.Errorf("extrapolation not monotone: rt(%v) = %v after %v", n, rt, prev)
+		}
+		prev = rt
+	}
+}
+
+// Simulator-backed training must be bit-identical at any worker count:
+// the fitted weights are compared exactly, not within tolerance.
+func TestTrainDeterministicAcrossWorkers(t *testing.T) {
+	cfg := TrainConfig{
+		Archs:         []workload.ServerArch{testArch()},
+		SamplesPerMix: 8,
+		Seed:          41,
+		Opt:           trade.MeasureOptions{WarmUp: 2, Duration: 6, Workers: 1},
+		Fit:           FitConfig{Degree: 2},
+	}
+	serial, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Opt.Workers = runtime.NumCPU()
+	par, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, wp := serial.Weights("TestServ"), par.Weights("TestServ")
+	if len(ws) == 0 || len(ws) != len(wp) {
+		t.Fatalf("weight vectors %d vs %d", len(ws), len(wp))
+	}
+	for i := range ws {
+		if ws[i] != wp[i] {
+			t.Errorf("weight %d differs across worker counts: %v vs %v", i, ws[i], wp[i])
+		}
+	}
+	if serial.Stats.Samples != par.Stats.Samples || serial.Stats.SimSeconds != par.Stats.SimSeconds {
+		t.Errorf("training stats differ: %+v vs %+v", serial.Stats, par.Stats)
+	}
+	// And a fresh run with the same seed reproduces the same model.
+	again, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa := again.Weights("TestServ")
+	for i := range ws {
+		if ws[i] != wa[i] {
+			t.Errorf("weight %d not reproducible across runs: %v vs %v", i, ws[i], wa[i])
+		}
+	}
+}
+
+// K-fold must report a small error for clean synthetic data and
+// reject degenerate fold counts.
+func TestKFoldReporting(t *testing.T) {
+	arch := testArch()
+	var pops []int
+	for n := 5; n <= 120; n += 5 {
+		pops = append(pops, n)
+	}
+	samples := syntheticSamples(arch, 0.080, 2.5, pops)
+	cv, err := KFold(samples, 4, []workload.ServerArch{arch}, workload.CaseStudyDemands(), workload.ThinkTimeMean,
+		FitConfig{Degree: 2, Lambda: 1e-9, Target: "rt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Folds) != 4 {
+		t.Fatalf("%d folds reported, want 4", len(cv.Folds))
+	}
+	held := 0
+	for _, f := range cv.Folds {
+		held += f.Held
+	}
+	if held != len(samples) {
+		t.Errorf("folds held %d samples in total, want %d", held, len(samples))
+	}
+	// Not exactly zero: the fold holding out the largest population
+	// forces its model past the trained range, where the deliberate
+	// k-NN extrapolation takes over.
+	if cv.MeanMAPEPct > 0.5 {
+		t.Errorf("linear data cross-validated MAPE %v%%, want ≈ 0", cv.MeanMAPEPct)
+	}
+	if cv.MaxMAPEPct < cv.MeanMAPEPct {
+		t.Errorf("max MAPE %v below mean %v", cv.MaxMAPEPct, cv.MeanMAPEPct)
+	}
+	if _, err := KFold(samples, 1, []workload.ServerArch{arch}, workload.CaseStudyDemands(), workload.ThinkTimeMean, FitConfig{}); err == nil {
+		t.Error("k = 1 accepted")
+	}
+}
+
+// Fit must reject malformed inputs loudly.
+func TestFitValidation(t *testing.T) {
+	arch := testArch()
+	if _, err := Fit(nil, []workload.ServerArch{arch}, workload.CaseStudyDemands(), workload.ThinkTimeMean, FitConfig{}); err == nil {
+		t.Error("empty sample set accepted")
+	}
+	few := syntheticSamples(arch, 0.1, 1, []int{5, 10, 15})
+	if _, err := Fit(few, []workload.ServerArch{arch}, workload.CaseStudyDemands(), workload.ThinkTimeMean, FitConfig{Degree: 3}); err == nil {
+		t.Error("underdetermined fit accepted")
+	}
+	bad := []Sample{{Arch: arch.Name, Clients: 0, MeanRT: 0.1}}
+	if _, err := Fit(bad, []workload.ServerArch{arch}, workload.CaseStudyDemands(), workload.ThinkTimeMean, FitConfig{}); err == nil {
+		t.Error("non-positive population accepted")
+	}
+	unknown := syntheticSamples(workload.ServerArch{Name: "Ghost", Speed: 1, MPL: 1, MaxThroughputTypical: 1}, 0.1, 1,
+		[]int{5, 10, 15, 20, 25, 30, 35, 40})
+	if _, err := Fit(unknown, []workload.ServerArch{arch}, workload.CaseStudyDemands(), workload.ThinkTimeMean, FitConfig{}); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+	if err := (FitConfig{Degree: 9}).Validate(); err == nil {
+		t.Error("degree 9 accepted")
+	}
+	if err := (FitConfig{Lambda: -1}).Validate(); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if err := (FitConfig{Target: "sqrt"}).Validate(); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+// The default log-response-time target must exactly recover data that
+// is log-linear in the load feature — the regime the raw-seconds fit
+// cannot represent — and always predict positive times.
+func TestLogTargetRecoversExponential(t *testing.T) {
+	arch := testArch()
+	demands := workload.CaseStudyDemands()
+	appD := demands[workload.Browse].AppServerTime / arch.Speed
+	const a, b = -5.0, 1.9
+	pops := []int{5, 12, 20, 31, 44, 58, 71, 85, 92, 100}
+	samples := make([]Sample, 0, len(pops))
+	for _, n := range pops {
+		samples = append(samples, Sample{
+			Arch:    arch.Name,
+			Clients: n,
+			MeanRT:  math.Exp(a + b*float64(n)*appD),
+		})
+	}
+	m, err := Fit(samples, []workload.ServerArch{arch}, demands, workload.ThinkTimeMean,
+		FitConfig{Degree: 3, Lambda: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []float64{5, 17, 26, 50, 63, 88, 100} {
+		want := math.Exp(a + b*n*appD)
+		got, err := m.Predict(arch.Name, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got <= 0 {
+			t.Fatalf("n=%v: non-positive prediction %v", n, got)
+		}
+		if math.Abs(got-want)/want > 1e-6 {
+			t.Errorf("n=%v: predicted %v, want %v", n, got, want)
+		}
+	}
+}

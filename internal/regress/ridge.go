@@ -1,0 +1,84 @@
+package regress
+
+import (
+	"errors"
+	"math"
+)
+
+// ridgeSolve computes the closed-form ridge estimate
+// β = (XᵀX + λI)⁻¹ Xᵀy with no penalty on the intercept (column 0).
+// The normal equations are accumulated and eliminated serially in
+// fixed index order, so the result is a pure function of (X, y, λ) —
+// bit-identical however the samples were measured.
+func ridgeSolve(X [][]float64, y []float64, lambda float64) ([]float64, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, errors.New("regress: shape mismatch in ridge solve")
+	}
+	nf := len(X[0])
+	// A = XᵀX + λI (skip the intercept's diagonal), b = Xᵀy.
+	A := make([][]float64, nf)
+	b := make([]float64, nf)
+	for j := range A {
+		A[j] = make([]float64, nf)
+	}
+	for i, row := range X {
+		if len(row) != nf {
+			return nil, errors.New("regress: ragged feature matrix")
+		}
+		for j := 0; j < nf; j++ {
+			for k := j; k < nf; k++ {
+				A[j][k] += row[j] * row[k]
+			}
+			b[j] += row[j] * y[i]
+		}
+	}
+	for j := 0; j < nf; j++ {
+		for k := 0; k < j; k++ {
+			A[j][k] = A[k][j]
+		}
+		if j > 0 {
+			A[j][j] += lambda
+		}
+	}
+	return gaussSolve(A, b)
+}
+
+// gaussSolve solves A·x = b in place by Gaussian elimination with
+// partial pivoting. Pivot choice is deterministic: the largest
+// absolute value, ties to the smallest row index.
+func gaussSolve(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(A[pivot][col]) < 1e-14 {
+			return nil, errors.New("regress: singular normal equations (too few distinct samples?)")
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / A[col][col]
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= A[r][c] * x[c]
+		}
+		x[r] = sum / A[r][r]
+	}
+	return x, nil
+}

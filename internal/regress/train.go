@@ -1,0 +1,171 @@
+package regress
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"perfpred/internal/parallel"
+	"perfpred/internal/sim"
+	"perfpred/internal/trade"
+	"perfpred/internal/workload"
+)
+
+// TrainConfig describes a simulator-backed training run.
+type TrainConfig struct {
+	// Archs are the architectures to train models for.
+	Archs []workload.ServerArch
+	// BuyFracs are the mixes sampled per architecture (nil = typical
+	// all-browse workload only, i.e. []float64{0}).
+	BuyFracs []float64
+	// SamplesPerMix is how many populations are drawn per
+	// (architecture, mix) cell (default 8).
+	SamplesPerMix int
+	// Seed drives the population draws and every measurement run;
+	// equal seeds give bit-identical training sets and fits.
+	Seed int64
+	// MaxPopFactor scales the top of the sampled population range
+	// relative to the architecture's saturation population
+	// Xmax × think (default 1.6, comfortably past the knee).
+	MaxPopFactor float64
+	// Opt tunes the underlying simulator measurements. Opt.Workers
+	// bounds measurement concurrency only — fits are bit-identical at
+	// any worker count.
+	Opt trade.MeasureOptions
+	// Fit tunes the regression itself.
+	Fit FitConfig
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if len(c.BuyFracs) == 0 {
+		c.BuyFracs = []float64{0}
+	}
+	if c.SamplesPerMix == 0 {
+		c.SamplesPerMix = 8
+	}
+	if c.MaxPopFactor == 0 {
+		c.MaxPopFactor = 1.6
+	}
+	return c
+}
+
+// drawPopulations picks SamplesPerMix distinct populations for one
+// (architecture, mix) cell: the two range endpoints plus seeded
+// uniform draws in between, sorted ascending. All draws happen before
+// any simulation starts, from a stream split deterministically per
+// cell, so the training grid is a pure function of the config.
+func drawPopulations(arch workload.ServerArch, cell uint64, cfg TrainConfig) []int {
+	sat := arch.MaxThroughputTypical * workload.ThinkTimeMean
+	maxPop := int(sat * cfg.MaxPopFactor)
+	if maxPop < cfg.SamplesPerMix+2 {
+		maxPop = cfg.SamplesPerMix + 2
+	}
+	minPop := maxPop / 50
+	if minPop < 1 {
+		minPop = 1
+	}
+	rng := sim.NewStream(sim.SplitSeed(cfg.Seed, cell))
+	seen := map[int]bool{minPop: true, maxPop: true}
+	pops := []int{minPop, maxPop}
+	for len(pops) < cfg.SamplesPerMix {
+		p := minPop + int(rng.Float64()*float64(maxPop-minPop))
+		if p < 1 || seen[p] {
+			continue
+		}
+		seen[p] = true
+		pops = append(pops, p)
+	}
+	// Ascending order fixes the sample order the fit sees.
+	for i := 1; i < len(pops); i++ {
+		for j := i; j > 0 && pops[j] < pops[j-1]; j-- {
+			pops[j], pops[j-1] = pops[j-1], pops[j]
+		}
+	}
+	return pops
+}
+
+// Train measures a seeded grid of simulator runs and fits the model.
+// The startup cost (simulated seconds, wall seconds, sample count) is
+// recorded in Model.Stats — the number the four-family comparison
+// holds against hybrid's calibration runs.
+func Train(cfg TrainConfig) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Archs) == 0 {
+		return nil, errors.New("regress: no architectures to train")
+	}
+	for _, f := range cfg.BuyFracs {
+		if f < 0 || f > 1 {
+			return nil, fmt.Errorf("regress: buy fraction %v outside [0,1]", f)
+		}
+	}
+	start := time.Now()
+
+	// Phase 1 (serial, seeded): lay out the full sample grid.
+	type spec struct {
+		arch    workload.ServerArch
+		buyFrac float64
+		clients int
+	}
+	var specs []spec
+	cell := uint64(0)
+	for _, arch := range cfg.Archs {
+		for _, bf := range cfg.BuyFracs {
+			for _, n := range drawPopulations(arch, cell, cfg) {
+				specs = append(specs, spec{arch: arch, buyFrac: bf, clients: n})
+			}
+			cell++
+		}
+	}
+
+	// Phase 2 (parallel): measure each grid point in its own seeded
+	// run. Each cell's seed depends only on its grid index, so the
+	// measurements are bit-identical at any worker count.
+	opt := cfg.Opt
+	results, err := parallel.Map(context.Background(), cfg.Opt.Workers, len(specs),
+		func(_ context.Context, i int) (float64, error) {
+			sp := specs[i]
+			o := opt
+			o.Seed = sim.SplitSeed(cfg.Seed, uint64(1_000_003+i))
+			var load workload.Workload
+			if sp.buyFrac <= 0 {
+				load = workload.TypicalWorkload(sp.clients)
+			} else {
+				load = workload.MixedWorkload(sp.clients, sp.buyFrac)
+			}
+			res, err := trade.Measure(sp.arch, load, o)
+			if err != nil {
+				return 0, err
+			}
+			return res.MeanRT, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3 (serial, fixed order): assemble samples and fit.
+	samples := make([]Sample, len(specs))
+	for i, sp := range specs {
+		samples[i] = Sample{Arch: sp.arch.Name, Clients: sp.clients, BuyFrac: sp.buyFrac, MeanRT: results[i]}
+	}
+	m, err := Fit(samples, cfg.Archs, workload.CaseStudyDemands(), workload.ThinkTimeMean, cfg.Fit)
+	if err != nil {
+		return nil, err
+	}
+	m.QueryBuyFrac = cfg.BuyFracs[0]
+	// Simulated seconds per sample mirror trade's measurement defaults
+	// (60 s warm-up, 240 s horizon) when the options leave them zero.
+	warm, dur := cfg.Opt.WarmUp, cfg.Opt.Duration
+	if warm == 0 {
+		warm = 60
+	}
+	if dur == 0 {
+		dur = 240
+	}
+	m.Stats = TrainStats{
+		Samples:     len(samples),
+		SimSeconds:  float64(len(samples)) * (warm + dur),
+		WallSeconds: time.Since(start).Seconds(),
+	}
+	return m, nil
+}

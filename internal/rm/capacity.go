@@ -32,8 +32,13 @@ func CapacitySearch(predict func(n float64) (float64, error), goalRT float64, li
 	}
 	lo, hi := 1, 2
 	for {
+		// Clamp the doubling to the limit and probe it like any other
+		// upper bound: the limit is only a valid answer once it has been
+		// verified to meet the goal. (Returning an unprobed limit left
+		// populations in (lo, limit] unexamined, so the reported capacity
+		// could silently miss the goal whenever doubling overshot.)
 		if hi > limit {
-			return limit, nil
+			hi = limit
 		}
 		rt, err := predict(float64(hi))
 		if err != nil {
@@ -41,6 +46,9 @@ func CapacitySearch(predict func(n float64) (float64, error), goalRT float64, li
 		}
 		if rt > goalRT {
 			break
+		}
+		if hi == limit {
+			return limit, nil
 		}
 		lo = hi
 		hi *= 2

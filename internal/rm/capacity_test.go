@@ -46,6 +46,69 @@ func TestCapacitySearchMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// Regression: when the doubling sequence overshoots a limit that does
+// NOT lie on the 2^k probe grid, the limit itself must be probed, not
+// returned on faith. With rt(n) = n/1000 and a 50 ms goal the true
+// capacity is 50; the old code returned limit (60) untested, a
+// population that misses the goal by 20%.
+func TestCapacitySearchOvershootProbesLimit(t *testing.T) {
+	probes := 0
+	curve := func(n float64) (float64, error) {
+		probes++
+		return 0.001 * n, nil
+	}
+	const goal = 0.05
+	got, err := CapacitySearch(curve, goal, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	searchProbes := probes
+	if want := bruteCapacity(curve, goal, 60); got != want {
+		t.Fatalf("limit 60: search %d, brute force %d", got, want)
+	}
+	// The defining property: the goal holds at the reported capacity
+	// and breaks one past it.
+	if rt, _ := curve(float64(got)); rt > goal {
+		t.Errorf("capacity %d misses the goal: rt %v > %v", got, rt, goal)
+	}
+	if rt, _ := curve(float64(got + 1)); rt <= goal {
+		t.Errorf("capacity %d not maximal: %d still meets the goal at %v", got, got+1, rt)
+	}
+	if searchProbes > 20 {
+		t.Errorf("search degenerated to a linear scan: %d probes", searchProbes)
+	}
+	// A limit the curve does satisfy must still be reported as the
+	// capacity — but only after a verifying probe.
+	probed40 := false
+	got, err = CapacitySearch(func(n float64) (float64, error) {
+		if n == 40 {
+			probed40 = true
+		}
+		return 0.001 * n, nil
+	}, goal, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 40 {
+		t.Errorf("satisfiable limit 40: got %d", got)
+	}
+	if !probed40 {
+		t.Error("limit 40 reported without being probed")
+	}
+	// Every call site that caps its search at a non-2^k limit leans on
+	// this; sweep odd limits around the true capacity for agreement
+	// with brute force.
+	for limit := 45; limit <= 55; limit++ {
+		got, err := CapacitySearch(curve, goal, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteCapacity(curve, goal, limit); got != want {
+			t.Errorf("limit %d: search %d, brute force %d", limit, got, want)
+		}
+	}
+}
+
 // Equivalence regression for the realCapacity rewrite: the doubling +
 // bisection search probing truth.Predict must report the same integer
 // capacity the old implementation got by flooring truth.MaxClients,

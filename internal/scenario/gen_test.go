@@ -66,6 +66,64 @@ func TestPatternScales(t *testing.T) {
 	}
 }
 
+// Regression: flash MeanScale previously approximated a horizon that
+// cuts mid-ramp or mid-decay by crediting half the *full* triangle
+// instead of integrating the clipped slope. The trapezoid integral is
+// closed-form; pin it.
+func TestFlashMeanScaleExact(t *testing.T) {
+	flash := compilePattern(&PatternSpec{Kind: PatternFlash, Start: 100, Ramp: 10, Hold: 20, Decay: 40, Peak: 5})
+
+	// Horizon at the ramp midpoint: the clipped ramp triangle has area
+	// (peak−1)·ramp/8 = 4·10/8 = 5 above the base line, so
+	// MeanScale(105) = (105 + 5)/105. The old linear split credited
+	// (peak−1)/2 · 5 = 10 instead.
+	if got, want := flash.MeanScale(105), 110.0/105; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mid-ramp MeanScale = %v, want %v", got, want)
+	}
+
+	// Horizon 15 s into the decay (s2 = 130): extra = full ramp 20 +
+	// full hold 80 + 4·(15 − 15²/80) = 148.75.
+	if got, want := flash.MeanScale(145), (145+148.75)/145; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mid-decay MeanScale = %v, want %v", got, want)
+	}
+
+	// Horizons that cover phases fully or not at all must match the old
+	// half-triangle arithmetic exactly — the committed scenario goldens
+	// depend on these.
+	if got, want := flash.MeanScale(100), 1.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("pre-flash MeanScale = %v, want %v", got, want)
+	}
+	if got, want := flash.MeanScale(200), (200+20+80+80)/200.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("whole-flash MeanScale = %v, want %v", got, want)
+	}
+
+	// Numerical cross-check on an awkward horizon: midpoint Riemann sum
+	// of Scale must agree with the closed form.
+	for _, horizon := range []float64{103.7, 131.2, 152.9, 169.99} {
+		const steps = 2_000_000
+		dt := horizon / steps
+		var area float64
+		for i := 0; i < steps; i++ {
+			area += flash.Scale((float64(i) + 0.5) * dt)
+		}
+		got := flash.MeanScale(horizon)
+		if want := area / steps; math.Abs(got-want) > 1e-6 {
+			t.Errorf("MeanScale(%v) = %v, Riemann sum %v", horizon, got, want)
+		}
+	}
+
+	// Spec validation allows a zero ramp or decay (instant rise/drop);
+	// the trapezoid terms must not divide by zero.
+	step := compilePattern(&PatternSpec{Kind: PatternFlash, Start: 10, Ramp: 0, Hold: 5, Decay: 5, Peak: 3})
+	if got, want := step.MeanScale(12), (12+2*2.0)/12; math.Abs(got-want) > 1e-12 {
+		t.Errorf("zero-ramp MeanScale = %v, want %v", got, want)
+	}
+	drop := compilePattern(&PatternSpec{Kind: PatternFlash, Start: 10, Ramp: 4, Hold: 6, Decay: 0, Peak: 3})
+	if got, want := drop.MeanScale(30), (30+2*4/2.0+2*6)/30; math.Abs(got-want) > 1e-12 {
+		t.Errorf("zero-decay MeanScale = %v, want %v", got, want)
+	}
+}
+
 func TestDistSampling(t *testing.T) {
 	rng := sim.NewStream(7)
 	for _, tc := range []struct {

@@ -164,23 +164,37 @@ func (p *Pattern) MeanScale(horizon float64) float64 {
 		area := cycles*p.period + rem + p.amplitude/w*(math.Cos(w*p.phase)-math.Cos(w*(rem+p.phase)))
 		return area / horizon
 	case PatternFlash:
-		// Area above the base line: ramp and decay contribute half their
-		// span at (peak−1), the hold its full span.
-		end := p.start + p.ramp + p.hold + p.decay
-		var extra float64
-		clip := func(a, b float64) float64 { // overlap of [a,b] with [0,horizon]
+		// Area above the base line, integrated exactly over [0, horizon].
+		// The hold contributes (peak−1) per second over its clipped span;
+		// the ramp and decay are clipped right triangles, so a horizon
+		// ending mid-slope contributes the trapezoid under the slope up
+		// to the cut, not half the full triangle.
+		s1 := p.start + p.ramp          // ramp end / hold start
+		s2 := s1 + p.hold               // hold end / decay start
+		end := s2 + p.decay             // decay end
+		clip := func(a, b float64) (float64, float64) { // overlap of [a,b] with [0,horizon]
 			lo, hi := math.Max(a, 0), math.Min(b, horizon)
 			if hi <= lo {
-				return 0
+				return 0, 0
 			}
-			return hi - lo
+			return lo, hi
 		}
-		// Exact only when the horizon covers each phase fully or not at
-		// all; mid-ramp horizons approximate the triangle linearly, which
-		// is within peak/2 and fine for planning-level means.
-		extra += (p.peak - 1) / 2 * clip(p.start, p.start+p.ramp)
-		extra += (p.peak - 1) * clip(p.start+p.ramp, p.start+p.ramp+p.hold)
-		extra += (p.peak - 1) / 2 * clip(p.start+p.ramp+p.hold, end)
+		var extra float64
+		if lo, hi := clip(p.start, s1); hi > lo && p.ramp > 0 {
+			// Scale 1 + (peak−1)(t−start)/ramp: ∫(scale−1) over [lo,hi]
+			// = (peak−1)/(2·ramp) · ((hi−start)² − (lo−start)²).
+			extra += (p.peak - 1) / (2 * p.ramp) *
+				((hi-p.start)*(hi-p.start) - (lo-p.start)*(lo-p.start))
+		}
+		if lo, hi := clip(s1, s2); hi > lo {
+			extra += (p.peak - 1) * (hi - lo)
+		}
+		if lo, hi := clip(s2, end); hi > lo && p.decay > 0 {
+			// Scale peak − (peak−1)(t−s2)/decay: ∫(scale−1) over [lo,hi]
+			// = (peak−1)·[(hi−lo) − ((hi−s2)² − (lo−s2)²)/(2·decay)].
+			extra += (p.peak - 1) *
+				((hi - lo) - ((hi-s2)*(hi-s2)-(lo-s2)*(lo-s2))/(2*p.decay))
+		}
 		return (horizon + extra) / horizon
 	}
 	return 1

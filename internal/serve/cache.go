@@ -9,6 +9,7 @@ import (
 	"perfpred/internal/hist"
 	"perfpred/internal/hybrid"
 	"perfpred/internal/parallel"
+	"perfpred/internal/regress"
 	"perfpred/internal/rtdist"
 	"perfpred/internal/sessioncache"
 	"perfpred/internal/trade"
@@ -47,9 +48,28 @@ type modelEntry struct {
 	evals int
 }
 
+func (e *modelEntry) setBuildWall(d time.Duration) { e.buildWall = d }
+
+// regressEntry is one cached regression-family predictor — the cheap
+// tier: a few short seeded simulator runs instead of warm-started
+// layered sweeps plus a calibration run.
+type regressEntry struct {
+	model     *regress.Model
+	buildWall time.Duration
+}
+
+func (e *regressEntry) setBuildWall(d time.Duration) { e.buildWall = d }
+
+// cacheEntry is what the generic cache needs from an entry: somewhere
+// to record the cold build's wall-clock cost.
+type cacheEntry interface {
+	setBuildWall(time.Duration)
+}
+
 // modelCache is the stampede-proof per-(architecture, mix) model
-// store: a bounded sessioncache.LRU holds finished models, and a
-// parallel.Memo singleflight collapses a thundering herd of cold
+// store, generic over the predictor tier it holds (hybrid modelEntry
+// or regressEntry): a bounded sessioncache.LRU holds finished models,
+// and a parallel.Memo singleflight collapses a thundering herd of cold
 // requests for one key into exactly one build. Completed flights are
 // immediately forgotten so the LRU is the single source of truth —
 // after an eviction the next request misses and rebuilds, and during
@@ -60,25 +80,25 @@ type modelEntry struct {
 // concurrently, at most queued more may wait for a slot, and anything
 // beyond that is rejected with ErrOverloaded so a cold-key flood
 // degrades to fast 429s instead of a convoy of queued solves.
-type modelCache struct {
-	lru     *sessioncache.LRU[modelKey, *modelEntry]
-	flights parallel.Memo[modelKey, *modelEntry]
+type modelCache[E cacheEntry] struct {
+	lru     *sessioncache.LRU[modelKey, E]
+	flights parallel.Memo[modelKey, E]
 
-	build func(modelKey) (*modelEntry, error)
+	build func(modelKey) (E, error)
 
 	sem     chan struct{}
 	queued  atomic.Int64
 	maxWait int64 // queued builds allowed beyond the worker slots
 }
 
-func newModelCache(capacity, workers, maxQueued int, build func(modelKey) (*modelEntry, error)) *modelCache {
-	c := &modelCache{
-		lru:     sessioncache.NewLRU[modelKey, *modelEntry](capacity),
+func newModelCache[E cacheEntry](capacity, workers, maxQueued int, build func(modelKey) (E, error)) *modelCache[E] {
+	c := &modelCache[E]{
+		lru:     sessioncache.NewLRU[modelKey, E](capacity),
 		build:   build,
 		sem:     make(chan struct{}, workers),
 		maxWait: int64(maxQueued),
 	}
-	c.lru.OnEvict(func(modelKey, *modelEntry) {
+	c.lru.OnEvict(func(modelKey, E) {
 		metrics.Load().cacheEvicts.Inc()
 	})
 	return c
@@ -88,32 +108,35 @@ func newModelCache(capacity, workers, maxQueued int, build func(modelKey) (*mode
 // whether this request had to wait on a build (shared or its own).
 // The returned error is ErrOverloaded when the build queue is full and
 // ctx.Err() when the caller's deadline expired while waiting.
-func (c *modelCache) get(ctx context.Context, key modelKey) (e *modelEntry, cold bool, err error) {
+func (c *modelCache[E]) get(ctx context.Context, key modelKey) (e E, cold bool, err error) {
 	m := metrics.Load()
 	if e, ok := c.lru.Get(key); ok {
 		m.cacheHits.Inc()
 		return e, false, nil
 	}
 	m.cacheMisses.Inc()
-	e, err = c.flights.DoCtx(ctx, key, func() (*modelEntry, error) {
+	e, err = c.flights.DoCtx(ctx, key, func() (E, error) {
+		var zero E
 		if err := c.acquireBuildSlot(ctx); err != nil {
-			return nil, err
+			return zero, err
 		}
 		defer func() { <-c.sem }()
 		start := time.Now()
 		entry, err := c.build(key)
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
-		entry.buildWall = time.Since(start)
+		wall := time.Since(start)
+		entry.setBuildWall(wall)
 		mm := metrics.Load()
 		mm.builds.Inc()
-		mm.buildSeconds.Observe(entry.buildWall.Seconds())
+		mm.buildSeconds.Observe(wall.Seconds())
 		c.lru.Put(key, entry)
 		return entry, nil
 	})
 	if err != nil {
-		return nil, true, err
+		var zero E
+		return zero, true, err
 	}
 	// The value now lives in the LRU; dropping the completed flight
 	// makes eviction → rebuild work (Forget leaves in-progress flights
@@ -125,7 +148,7 @@ func (c *modelCache) get(ctx context.Context, key modelKey) (e *modelEntry, cold
 // acquireBuildSlot admits the flight leader to a build worker slot,
 // rejecting immediately when the queue is full and abandoning the wait
 // when the leader's own deadline expires.
-func (c *modelCache) acquireBuildSlot(ctx context.Context) error {
+func (c *modelCache[E]) acquireBuildSlot(ctx context.Context) error {
 	m := metrics.Load()
 	q := c.queued.Add(1)
 	m.buildQueueDepth.Set(q)
@@ -173,6 +196,35 @@ func (s *Service) buildEntry(key modelKey) (*modelEntry, error) {
 		e.laplaceB = b
 	}
 	return e, nil
+}
+
+// buildRegressEntry is the cheap tier's cold path: train a black-box
+// regression model for the key's (architecture, mix) from a handful of
+// short seeded simulator runs. No layered solves, no calibration run —
+// the start-up cost the four-family comparison shows is a fraction of
+// hybrid's, traded against polynomial rather than model-based
+// accuracy. The training seed is fixed by configuration, so equal keys
+// always serve bit-identical fits.
+func (s *Service) buildRegressEntry(key modelKey) (*regressEntry, error) {
+	arch, ok := s.archs[key.arch]
+	if !ok {
+		return nil, &badRequestError{msg: "unknown architecture " + key.arch}
+	}
+	m, err := regress.Train(regress.TrainConfig{
+		Archs:         []workload.ServerArch{arch},
+		BuyFracs:      []float64{key.buyFrac()},
+		SamplesPerMix: s.cfg.RegressTrainSamples,
+		Seed:          s.cfg.CalibrationSeed,
+		Opt: trade.MeasureOptions{
+			WarmUp:   s.cfg.RegressSimSeconds / 4,
+			Duration: s.cfg.RegressSimSeconds,
+		},
+		Fit: regress.FitConfig{Degree: s.cfg.RegressDegree},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &regressEntry{model: m}, nil
 }
 
 // calibrateScale runs the simulator at ~1.4× the model's saturation

@@ -92,6 +92,18 @@ type Config struct {
 	// (default 40; a quarter of it is warm-up).
 	CalibrationSimSeconds float64
 
+	// RegressTrainSamples is how many simulator measurements the cheap
+	// regress tier trains on per (architecture, mix) (default 8).
+	RegressTrainSamples int
+	// RegressSimSeconds is each regress training run's simulated
+	// horizon (default 20; a quarter of it is warm-up). The whole
+	// training set costs RegressTrainSamples × 1.25 × this in simulated
+	// seconds — the knob that keeps the tier cheap.
+	RegressSimSeconds float64
+	// RegressDegree is the polynomial degree of the regress tier
+	// (default 2 — the cheap tier favours robustness over fit).
+	RegressDegree int
+
 	// BuildWorkers bounds concurrent cold builds (default 2).
 	BuildWorkers int
 	// MaxQueuedBuilds bounds builds waiting for a worker slot beyond
@@ -121,6 +133,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CalibrationSimSeconds == 0 {
 		c.CalibrationSimSeconds = 40
+	}
+	if c.RegressTrainSamples <= 0 {
+		c.RegressTrainSamples = 8
+	}
+	if c.RegressSimSeconds <= 0 {
+		c.RegressSimSeconds = 20
+	}
+	if c.RegressDegree <= 0 {
+		c.RegressDegree = 2
 	}
 	if c.BuildWorkers <= 0 {
 		c.BuildWorkers = 2
@@ -153,8 +174,12 @@ func (c Config) withDefaults() Config {
 type Service struct {
 	cfg   Config
 	archs map[string]workload.ServerArch
-	cache *modelCache
-	batch *batcher
+	cache *modelCache[*modelEntry]
+	// regressCache is the cheap tier: black-box regression models
+	// trained from a few short simulator runs, sharing the hybrid
+	// cache's stampede control and admission machinery.
+	regressCache *modelCache[*regressEntry]
+	batch        *batcher
 
 	closed atomic.Bool
 }
@@ -182,6 +207,7 @@ func New(cfg Config) (*Service, error) {
 		s.archs[a.Name] = a
 	}
 	s.cache = newModelCache(cfg.CacheCapacity, cfg.BuildWorkers, cfg.MaxQueuedBuilds, s.buildEntry)
+	s.regressCache = newModelCache(cfg.CacheCapacity, cfg.BuildWorkers, cfg.MaxQueuedBuilds, s.buildRegressEntry)
 	s.batch = newBatcher(cfg.SolveWorkers, cfg.MaxQueuedSolves, cfg.MaxBatch, cfg.LQN, s.makeState)
 	return s, nil
 }
@@ -246,8 +272,9 @@ type PredictRequest struct {
 	// Percentile, in (0,1), converts the mean prediction via the §7.1
 	// distributions; 0 predicts the mean.
 	Percentile float64 `json:"percentile"`
-	// Method is "hybrid" (default; cached closed-form model) or "lqn"
-	// (exact layered solve through the coalescing batcher).
+	// Method is "hybrid" (default; cached closed-form model), "lqn"
+	// (exact layered solve through the coalescing batcher) or "regress"
+	// (cheap-tier black-box regression, means only).
 	Method string `json:"method"`
 	// DeadlineMS overrides the service's default deadline.
 	DeadlineMS int64 `json:"deadline_ms"`
@@ -551,6 +578,23 @@ func (s *Service) Predict(r *http.Request, req PredictRequest) (*PredictResponse
 		} else {
 			resp.ResponseTimeS = entry.sm.Predict(req.Clients)
 		}
+	case "regress":
+		if req.Percentile > 0 {
+			return nil, &badRequestError{msg: "method regress predicts means only (no percentile support)"}
+		}
+		entry, cold, err := s.regressCache.get(ctx, key)
+		if err != nil {
+			return nil, err
+		}
+		resp.Cold = cold
+		if cold {
+			resp.BuildMS = float64(entry.buildWall) / float64(time.Millisecond)
+		}
+		rt, err := entry.model.Predict(req.Arch, req.Clients)
+		if err != nil {
+			return nil, err
+		}
+		resp.ResponseTimeS = rt
 	case "lqn":
 		rt, err := s.batchSolveRT(ctx, key, int(req.Clients+0.5))
 		if err != nil {
@@ -574,7 +618,7 @@ func (s *Service) Predict(r *http.Request, req PredictRequest) (*PredictResponse
 			resp.ResponseTimeS = p
 		}
 	default:
-		return nil, &badRequestError{msg: "unknown method " + method + " (want hybrid or lqn)"}
+		return nil, &badRequestError{msg: "unknown method " + method + " (want hybrid, lqn or regress)"}
 	}
 	return resp, nil
 }
@@ -656,6 +700,20 @@ func (s *Service) Capacity(r *http.Request, req CapacityRequest) (*CapacityRespo
 			return nil, err
 		}
 		resp.MaxClients = n
+	case "regress":
+		entry, cold, err := s.regressCache.get(ctx, key)
+		if err != nil {
+			return nil, err
+		}
+		resp.Cold = cold
+		if cold {
+			resp.BuildMS = float64(entry.buildWall) / float64(time.Millisecond)
+		}
+		n, err := entry.model.MaxClients(req.Arch, req.GoalRTS)
+		if err != nil {
+			return nil, err
+		}
+		resp.MaxClients = n
 	case "lqn":
 		job := &solveJob{kind: solveCapacity, key: key, goalRT: req.GoalRTS, ctx: ctx, resp: make(chan solveOut, 1)}
 		if err := s.batch.submit(job); err != nil {
@@ -672,7 +730,7 @@ func (s *Service) Capacity(r *http.Request, req CapacityRequest) (*CapacityRespo
 			return nil, ctx.Err()
 		}
 	default:
-		return nil, &badRequestError{msg: "unknown method " + method + " (want hybrid or lqn)"}
+		return nil, &badRequestError{msg: "unknown method " + method + " (want hybrid, lqn or regress)"}
 	}
 	return resp, nil
 }

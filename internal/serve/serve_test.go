@@ -16,7 +16,9 @@ import (
 
 	"perfpred/internal/hybrid"
 	"perfpred/internal/lqn"
+	"perfpred/internal/regress"
 	"perfpred/internal/rm"
+	"perfpred/internal/trade"
 	"perfpred/internal/workload"
 )
 
@@ -154,6 +156,74 @@ func TestServedHybridMatchesOffline(t *testing.T) {
 		if capResp.MaxClients != wantCap {
 			t.Fatalf("%s capacity: served %v, offline %v", tc.arch.Name, capResp.MaxClients, wantCap)
 		}
+	}
+}
+
+// The cheap regress tier must serve exactly what an identically
+// configured offline training run fits: the service is a cache in
+// front of a deterministic build, nothing more. Warm repeats are
+// byte-identical and free; percentile requests are a client mistake.
+func TestServedRegressTierMatchesOffline(t *testing.T) {
+	_, srv := newTestServer(t, func(c *Config) {
+		c.RegressSimSeconds = 4 // short training sims keep the test fast
+	})
+	client := srv.Client()
+	arch := workload.AppServS()
+
+	offline, err := regress.Train(regress.TrainConfig{
+		Archs:         []workload.ServerArch{arch},
+		BuyFracs:      []float64{0},
+		SamplesPerMix: 8,
+		Seed:          1, // the service's default CalibrationSeed
+		Opt:           trade.MeasureOptions{WarmUp: 1, Duration: 4},
+		Fit:           regress.FitConfig{Degree: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var first PredictResponse
+	url := fmt.Sprintf("%s/v1/predict?arch=%s&clients=300&method=regress", srv.URL, arch.Name)
+	if code := getJSON(t, client, url, &first); code != http.StatusOK {
+		t.Fatalf("%s: status %d", url, code)
+	}
+	if !first.Cold {
+		t.Error("first regress request did not report a cold build")
+	}
+	want, err := offline.Predict(arch.Name, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ResponseTimeS != want {
+		t.Fatalf("served regress rt %v, offline %v", first.ResponseTimeS, want)
+	}
+
+	var warm PredictResponse
+	if code := getJSON(t, client, url, &warm); code != http.StatusOK {
+		t.Fatalf("warm repeat: status %d", code)
+	}
+	if warm.Cold || warm.ResponseTimeS != first.ResponseTimeS {
+		t.Fatalf("warm repeat: cold=%v rt=%v, want warm rt=%v", warm.Cold, warm.ResponseTimeS, first.ResponseTimeS)
+	}
+
+	goal := 4 * want
+	wantCap, err := offline.MaxClients(arch.Name, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var capResp CapacityResponse
+	capURL := fmt.Sprintf("%s/v1/capacity?arch=%s&goal_rt_s=%v&method=regress", srv.URL, arch.Name, goal)
+	if code := getJSON(t, client, capURL, &capResp); code != http.StatusOK {
+		t.Fatalf("%s: status %d", capURL, code)
+	}
+	if capResp.MaxClients != wantCap {
+		t.Fatalf("served regress capacity %v, offline %v", capResp.MaxClients, wantCap)
+	}
+
+	// The tier predicts means only: percentile requests are 400s.
+	pctURL := url + "&percentile=0.9"
+	if code := getJSON(t, client, pctURL, nil); code != http.StatusBadRequest {
+		t.Fatalf("percentile with regress: status %d, want 400", code)
 	}
 }
 

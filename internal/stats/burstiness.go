@@ -50,8 +50,14 @@ func IndexOfDispersion(times []float64, window float64) float64 {
 	start, count := 0, 0
 	for w := 0; w < n; w++ {
 		hi := times[0] + float64(w+1)*window
+		// Windows are half-open [lo, hi) except the last, which closes
+		// at its upper edge: when the span is an exact multiple of the
+		// window the final arrival lands exactly on hi and a strictly-
+		// open edge would drop it (and any batch tied with it), biasing
+		// the last count low.
+		last := w == n-1
 		count = 0
-		for start < len(times) && times[start] < hi {
+		for start < len(times) && (times[start] < hi || (last && times[start] <= hi)) {
 			count++
 			start++
 		}

@@ -99,6 +99,43 @@ func TestIndexOfDispersionBursty(t *testing.T) {
 	}
 }
 
+// Regression: when the span is an exact multiple of the window, the
+// final arrival (and anything tied with it) lands exactly on the last
+// window's upper edge. The old strictly-open edge dropped those
+// arrivals, so a closing burst was invisible: one arrival per second
+// for 20 s plus a 4-arrival batch at exactly t = 20 produced counts
+// (5,5,5,5) and IDC = 0. The boundary-inclusive final window sees
+// (5,5,5,9) and reports the over-dispersion the stream actually has.
+func TestIndexOfDispersionFinalBoundaryInclusive(t *testing.T) {
+	var times []float64
+	for i := 0; i < 20; i++ {
+		times = append(times, float64(i))
+	}
+	for i := 0; i < 4; i++ {
+		times = append(times, 20.0) // ties exactly on the span end
+	}
+	idc := IndexOfDispersion(times, 5)
+	if math.IsNaN(idc) {
+		t.Fatal("exact-multiple span must not be NaN")
+	}
+	// Counts (5,5,5,9): mean 6, sample variance 4 → IDC = 2/3. The old
+	// code reported exactly 0.
+	if idc < 0.3 {
+		t.Fatalf("end-of-span batch invisible: IDC = %v, want ≈ 0.67", idc)
+	}
+	// Purely deterministic arrivals whose last point sits on the edge:
+	// counts (5,5,5,6), IDC small but strictly positive — the old code
+	// returned exactly 0 by losing the final arrival.
+	times = times[:0]
+	for i := 0; i <= 20; i++ {
+		times = append(times, float64(i))
+	}
+	idc = IndexOfDispersion(times, 5)
+	if idc <= 0 || idc > 0.1 {
+		t.Fatalf("final arrival on span end: IDC = %v, want small positive", idc)
+	}
+}
+
 func TestIndexOfDispersionDegenerate(t *testing.T) {
 	if !math.IsNaN(IndexOfDispersion(nil, 1)) {
 		t.Fatal("empty times must give NaN")
